@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite (import as ``from _harness import emit``)."""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.aggregation import ClusterRuntime
+from repro.metrics import ExperimentRecord
+from repro.params import scaled
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(record: ExperimentRecord) -> None:
+    """Print one experiment record and append it to the results file."""
+    text = record.to_text()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "records.txt", "a") as sink:
+        sink.write(text + "\n\n")
+
+
+def make_runtime(graph, seed: int = 5) -> ClusterRuntime:
+    """Fresh scaled-preset runtime bound to a graph."""
+    return ClusterRuntime(graph=graph, params=scaled(), rng=np.random.default_rng(seed))

@@ -1,0 +1,62 @@
+"""E11 -- model compliance: every message the pipeline puts on a link fits
+the O(log n)-bit cap (pipelined operations split honestly).
+
+Claim shape: across every workload family, the ledger's maximum recorded
+message width never exceeds the bandwidth, and total bits per link-round
+stay bounded.
+"""
+
+import numpy as np
+import pytest
+
+from repro import color_cluster_graph
+from repro.metrics import ExperimentRecord
+from repro.params import scaled
+from repro.workloads import (
+    bridge_pathology,
+    cabal_instance,
+    congest_instance,
+    contraction_instance,
+    low_degree_instance,
+    planted_acd_instance,
+)
+
+from _harness import emit
+
+FAMILIES = [
+    ("planted_acd", planted_acd_instance, {}),
+    ("cabal", cabal_instance, {}),
+    ("congest", congest_instance, {}),
+    ("contraction", contraction_instance, {"n": 300}),
+    ("bridge", bridge_pathology, {}),
+    ("low_degree", low_degree_instance, {"n_vertices": 300}),
+]
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_bandwidth_compliance(benchmark):
+    record = ExperimentRecord(
+        experiment="E11 bandwidth compliance",
+        claim="Model (Sec 3.2): every link carries <= O(log n) bits per round",
+        params_preset="scaled",
+    )
+
+    def run_all():
+        for name, maker, kw in FAMILIES:
+            w = maker(np.random.default_rng(53), **kw)
+            result = color_cluster_graph(w.graph, seed=6)
+            cap = scaled().bandwidth_bits(w.graph.n_machines)
+            widest = result.ledger_summary["max_message_bits"]
+            record.add_row(
+                family=name,
+                machines=w.graph.n_machines,
+                cap_bits=cap,
+                widest_message=widest,
+                rounds_h=result.rounds_h,
+                proper=result.proper,
+            )
+            assert result.proper
+            assert widest <= cap
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(record)

@@ -1,0 +1,76 @@
+"""E13 -- positioning against prior work.
+
+The paper's context (Section 1.3): the only prior cluster-graph coloring
+runs in O(log^2 n) rounds via palette sparsification [FGH+24], and any
+palette-limited approach is stuck at Omega(log n / loglog n); classic
+random trials [Joh99] need O(log n) rounds *and* pay Theta(Delta / log n)
+per round on cluster graphs to learn palettes.
+
+Claim shape reproduced: sweeping Delta at fixed-ish n, the baselines' round
+counts grow with Delta (palette movement) while this paper's stay flat; the
+measured slopes put the crossover where fingerprint widths ~ palette widths
+(Delta ~ xi^-2 log n under the scaled preset -- reported, not hidden).
+"""
+
+import numpy as np
+import pytest
+
+from repro import color_cluster_graph
+from repro.baselines import (
+    local_gather_coloring,
+    luby_coloring,
+    palette_sparsification_coloring,
+)
+from repro.metrics import ExperimentRecord
+from repro.workloads import high_degree_instance
+
+from _harness import emit
+
+SIZES = (200, 500, 1000, 1600)
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_baseline_table(benchmark):
+    record = ExperimentRecord(
+        experiment="E13 baselines",
+        claim="Thm 1.2 vs [FGH+24] O(log^2 n) and [Joh99] O(log n): flat vs growing rounds",
+        params_preset="scaled",
+    )
+    ours_rounds, luby_rounds, deltas = [], [], []
+
+    def run_all():
+        for n_vertices in SIZES:
+            w = high_degree_instance(
+                np.random.default_rng(61), n_vertices=n_vertices,
+                degree_fraction=0.55, cluster_size=1,
+            )
+            g = w.graph
+            ours = color_cluster_graph(g, seed=3)
+            luby = luby_coloring(g, seed=3)
+            sparsified = palette_sparsification_coloring(g, seed=3)
+            gather = local_gather_coloring(g, seed=3)
+            assert ours.proper and luby.proper and sparsified.proper and gather.proper
+            ours_rounds.append(ours.rounds_h)
+            luby_rounds.append(luby.rounds_h)
+            deltas.append(g.max_degree)
+            record.add_row(
+                delta=g.max_degree,
+                ours=ours.rounds_h,
+                luby_cluster=luby.rounds_h,
+                palette_sparsification=sparsified.rounds_h,
+                local_gather=gather.rounds_h,
+            )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # shape: ours flat, luby grows with Delta
+    assert ours_rounds[-1] < 1.3 * ours_rounds[0]
+    assert luby_rounds[-1] > 2.0 * luby_rounds[0]
+    slope = (luby_rounds[-1] - luby_rounds[0]) / (deltas[-1] - deltas[0])
+    crossover = deltas[-1] + max(0.0, (ours_rounds[-1] - luby_rounds[-1])) / max(
+        slope, 1e-9
+    )
+    record.notes.append(
+        f"luby slope {slope:.3f} rounds/Delta; measured-shape crossover at "
+        f"Delta ~ {crossover:.0f} (scaled-preset constants)"
+    )
+    emit(record)

@@ -1,0 +1,12 @@
+"""Benchmark session setup: start with a clean results file."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_sessionstart(session):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "records.txt").write_text("")

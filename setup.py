@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The execution environment has no ``wheel`` package (and no network), so
+PEP-517 editable installs fail at ``bdist_wheel``; this shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

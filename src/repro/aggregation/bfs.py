@@ -1,0 +1,131 @@
+"""Breadth-first search on cluster graphs (Lemma 3.2).
+
+A ``t``-hop BFS can be simulated in parallel on vertex-disjoint subgraphs of
+``H`` in ``O(t)`` rounds on ``G`` (hiding the dilation ``d``).  The resulting
+H-tree induces a G-tree of height at most ``d * t`` on which aggregation
+visits every cluster exactly once -- the device that avoids double counting
+through redundant links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.aggregation.runtime import ClusterRuntime
+
+
+@dataclass(frozen=True)
+class HTree:
+    """A rooted ordered tree over a subset of H-vertices.
+
+    Attributes
+    ----------
+    root:
+        Source vertex of the BFS.
+    parent:
+        ``parent[v]`` for every reached vertex; ``None`` at the root.
+    depth_of:
+        BFS depth per vertex.
+    height:
+        Maximum depth (the ``t`` of Lemma 3.2).
+    """
+
+    root: int
+    parent: dict[int, int | None]
+    depth_of: dict[int, int]
+    height: int
+
+    @property
+    def vertices(self) -> list[int]:
+        """All reached vertices."""
+        return list(self.parent.keys())
+
+    def children(self) -> dict[int, list[int]]:
+        """Sorted child lists -- the arbitrary-but-fixed ordering that makes
+        this an *ordered tree* (Lemma 3.3 prerequisite).
+        """
+        kids: dict[int, list[int]] = {v: [] for v in self.parent}
+        for v, p in self.parent.items():
+            if p is not None:
+                kids[p].append(v)
+        for lst in kids.values():
+            lst.sort()
+        return kids
+
+    def order(self) -> list[int]:
+        """The total order induced by the ordered tree (preorder; ancestors
+        first, siblings by sorted order) -- the ``≺`` of Lemma 3.3.
+        """
+        kids = self.children()
+        out: list[int] = []
+        stack = [self.root]
+        while stack:
+            v = stack.pop()
+            out.append(v)
+            for c in reversed(kids[v]):
+                stack.append(c)
+        return out
+
+
+def bfs_forest(
+    runtime: ClusterRuntime,
+    components: Sequence[tuple[int, Iterable[int]]],
+    *,
+    max_hops: int | None = None,
+    op: str = "bfs",
+) -> list[HTree]:
+    """Parallel BFS in vertex-disjoint subgraphs of ``H`` (Lemma 3.2).
+
+    Parameters
+    ----------
+    components:
+        Pairs ``(source, vertex_set)``.  The vertex sets must be pairwise
+        disjoint -- parallel BFS in overlapping subgraphs would congest
+        support trees, which the model forbids; we enforce it.
+    max_hops:
+        Optional hop bound ``t``; default: run to exhaustion of each set.
+
+    Returns
+    -------
+    list[HTree]
+        One tree per component (vertices unreachable within the set or hop
+        bound are absent).
+
+    Cost: ``O(t)`` H-rounds where ``t`` is the deepest BFS, with
+    ``O(log n)``-bit messages (source id + timestamp).
+    """
+    seen_overall: set[int] = set()
+    for _src, vs in components:
+        vs = set(vs)
+        if seen_overall & vs:
+            raise ValueError("BFS components must be vertex-disjoint (Lemma 3.2)")
+        seen_overall |= vs
+
+    graph = runtime.graph
+    trees: list[HTree] = []
+    deepest = 0
+    for source, vertex_set in components:
+        member = set(vertex_set)
+        if source not in member:
+            raise ValueError(f"source {source} not in its component")
+        parent: dict[int, int | None] = {source: None}
+        depth_of = {source: 0}
+        frontier = [source]
+        depth = 0
+        while frontier and (max_hops is None or depth < max_hops):
+            nxt = []
+            for u in frontier:
+                for v in graph.neighbors(u):
+                    if v in member and v not in parent:
+                        parent[v] = u
+                        depth_of[v] = depth + 1
+                        nxt.append(v)
+            frontier = nxt
+            if frontier:
+                depth += 1
+        deepest = max(deepest, depth)
+        trees.append(HTree(root=source, parent=parent, depth_of=depth_of, height=depth))
+    # one timestamped flood per hop, all components in parallel
+    runtime.h_rounds(op, count=max(1, deepest), bits=2 * runtime.id_bits + 8)
+    return trees

@@ -1,0 +1,99 @@
+"""Prefix sums on ordered trees (Lemma 3.3) and their standard uses.
+
+Given edge-disjoint ordered trees of depth ``<= d`` and integer values
+``x_u`` on a subset ``S`` of each tree's vertices, every ``u in S`` can learn
+``sum_{w in S, w < u} x_w`` in ``O(d)`` rounds, where ``<`` is the total
+order induced by the ordered tree.  The canonical applications -- used all
+over the coloring algorithm -- are:
+
+* dense local identifiers ``1..|S|`` for an arbitrary subset ``S``
+  (set ``x_u = 1``; Lemma 3.3's closing remark);
+* counting ``|S|`` exactly (the root's total);
+* selecting "the first r elements for which P holds" (Algorithm 10, Step 4).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.aggregation.bfs import HTree
+from repro.aggregation.runtime import ClusterRuntime
+
+
+def prefix_sums(
+    runtime: ClusterRuntime,
+    trees: Sequence[HTree],
+    values: Mapping[int, int],
+    *,
+    op: str = "prefix_sum",
+) -> dict[int, int]:
+    """Exclusive prefix sums over each tree's induced order (Lemma 3.3).
+
+    ``values`` maps a subset of tree vertices to integers; vertices absent
+    from ``values`` contribute 0 and receive no output.  Trees must be
+    vertex-disjoint (edge-disjoint in G follows; we enforce the stronger
+    condition our BFS forest guarantees anyway).
+
+    Cost: ``O(max depth)`` H-rounds, one ``O(log n)``-bit partial sum per
+    message.
+    """
+    seen: set[int] = set()
+    out: dict[int, int] = {}
+    max_height = 1
+    for tree in trees:
+        overlap = seen & set(tree.parent)
+        if overlap:
+            raise ValueError(f"trees share vertices {sorted(overlap)[:3]}")
+        seen |= set(tree.parent)
+        running = 0
+        for v in tree.order():
+            if v in values:
+                out[v] = running
+                running += values[v]
+        max_height = max(max_height, tree.height)
+    runtime.h_rounds(op, count=max(1, max_height), bits=2 * runtime.id_bits)
+    return out
+
+
+def local_identifiers(
+    runtime: ClusterRuntime,
+    trees: Sequence[HTree],
+    members: Mapping[int, bool] | None = None,
+    *,
+    op: str = "local_ids",
+) -> dict[int, int]:
+    """Assign identifiers ``1..|S|`` to the members of each tree.
+
+    ``members`` selects the subset ``S`` (default: all tree vertices).  The
+    identifiers are dense *per tree* and follow the induced order, exactly
+    the device Algorithm 7 (Step 3) and Section 7 use to replace
+    ``Theta(log n)``-bit global ids with ``O(log |K|)``-bit local ones.
+    """
+    indicator: dict[int, int] = {}
+    for tree in trees:
+        for v in tree.parent:
+            if members is None or members.get(v, False):
+                indicator[v] = 1
+    sums = prefix_sums(runtime, trees, indicator, op=op)
+    return {v: s + 1 for v, s in sums.items()}
+
+
+def tree_totals(
+    runtime: ClusterRuntime,
+    trees: Sequence[HTree],
+    values: Mapping[int, int],
+    *,
+    op: str = "tree_total",
+) -> dict[int, int]:
+    """Exact per-tree totals ``sum_{u in tree} x_u`` known to every vertex of
+    the tree (convergecast + broadcast, ``O(depth)`` rounds).
+
+    Returns a map from tree root to total.
+    """
+    totals: dict[int, int] = {}
+    max_height = 1
+    for tree in trees:
+        totals[tree.root] = sum(values.get(v, 0) for v in tree.parent)
+        max_height = max(max_height, tree.height)
+    runtime.h_rounds(op, count=max(1, max_height), bits=2 * runtime.id_bits)
+    return totals

@@ -1,0 +1,15 @@
+"""Comparator algorithms for Experiment E13 and the tests."""
+
+from repro.baselines.greedy import greedy_color_count, greedy_coloring
+from repro.baselines.luby import BaselineResult, luby_coloring
+from repro.baselines.palette_sparsification import palette_sparsification_coloring
+from repro.baselines.local_gather import local_gather_coloring
+
+__all__ = [
+    "BaselineResult",
+    "greedy_color_count",
+    "greedy_coloring",
+    "luby_coloring",
+    "palette_sparsification_coloring",
+    "local_gather_coloring",
+]

@@ -1,0 +1,34 @@
+"""Sequential greedy baseline.
+
+The centralized floor: visits vertices in order and assigns the smallest
+free color.  Always proper and total with ``Δ+1`` colors; ``n`` rounds by
+construction.  Benchmarks use it for color-count and runtime floors, not as
+a distributed competitor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coloring.types import UNCOLORED
+
+
+def greedy_coloring(graph, order: list[int] | None = None) -> np.ndarray:
+    """Greedy (Δ+1)-coloring in the given (default: natural) vertex order."""
+    n = graph.n_vertices
+    colors = np.full(n, UNCOLORED, dtype=np.int64)
+    if order is None:
+        order = list(range(n))
+    for v in order:
+        used = set(int(c) for c in colors[graph.neighbor_array(v)] if c != UNCOLORED)
+        c = 0
+        while c in used:
+            c += 1
+        colors[v] = c
+    return colors
+
+
+def greedy_color_count(graph, order: list[int] | None = None) -> int:
+    """Number of distinct colors greedy uses (≤ Δ+1)."""
+    colors = greedy_coloring(graph, order)
+    return int(colors.max()) + 1

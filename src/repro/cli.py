@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``color``
+    Generate a workload, run the pipeline, print the stage table.
+``baselines``
+    Same workload through every comparator, one table.
+``sketch``
+    Fingerprint-estimator demo (Lemma 5.2): estimate a hidden count.
+``workloads``
+    List the available instance generators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import color_cluster_graph
+from repro.metrics import format_table
+from repro.params import paper, scaled
+from repro.workloads import (
+    bridge_pathology,
+    cabal_instance,
+    congest_instance,
+    contraction_instance,
+    figure1_example,
+    high_degree_instance,
+    low_degree_instance,
+    planted_acd_instance,
+    voronoi_instance,
+)
+
+GENERATORS = {
+    "planted_acd": planted_acd_instance,
+    "cabal": cabal_instance,
+    "congest": congest_instance,
+    "contraction": contraction_instance,
+    "voronoi": voronoi_instance,
+    "bridge": bridge_pathology,
+    "high_degree": high_degree_instance,
+    "low_degree": low_degree_instance,
+    "figure1": lambda _rng: figure1_example(),
+}
+
+
+def _build_workload(args) -> object:
+    maker = GENERATORS[args.workload]
+    return maker(np.random.default_rng(args.instance_seed))
+
+
+def _cmd_color(args) -> int:
+    w = _build_workload(args)
+    params = paper() if args.params == "paper" else scaled()
+    result = color_cluster_graph(
+        w.graph, params=params, seed=args.seed, regime=args.regime
+    )
+    print(f"workload: {w.name}  ({w.notes})")
+    print(
+        f"machines={w.graph.n_machines} vertices={w.graph.n_vertices} "
+        f"Delta={w.graph.max_degree} dilation={w.graph.dilation}"
+    )
+    print(
+        f"regime={result.stats.regime} proper={result.proper} "
+        f"rounds_h={result.rounds_h} rounds_g={result.rounds_g} "
+        f"colors={len(set(result.colors.tolist()))}/{result.num_colors}"
+    )
+    rows = [
+        {"stage": stage, "rounds_h": rounds}
+        for stage, rounds in sorted(result.stats.stage_rounds.items())
+    ]
+    print(format_table(rows))
+    if result.stats.fallbacks:
+        print(f"fallbacks: {dict(result.stats.fallbacks)}")
+    if result.stats.retries:
+        print(f"retries:   {dict(result.stats.retries)}")
+    for note in result.stats.notes:
+        print(f"note: {note}")
+    return 0 if result.proper else 1
+
+
+def _cmd_baselines(args) -> int:
+    from repro.baselines import (
+        greedy_color_count,
+        local_gather_coloring,
+        luby_coloring,
+        palette_sparsification_coloring,
+    )
+
+    w = _build_workload(args)
+    ours = color_cluster_graph(w.graph, seed=args.seed)
+    rows = [
+        {
+            "algorithm": "this paper",
+            "rounds_h": ours.rounds_h,
+            "bits": ours.ledger_summary["total_message_bits"],
+            "proper": ours.proper,
+        }
+    ]
+    for name, fn in (
+        ("luby (cluster)", luby_coloring),
+        ("palette sparsification", palette_sparsification_coloring),
+        ("local gather", local_gather_coloring),
+    ):
+        r = fn(w.graph, seed=args.seed)
+        rows.append(
+            {
+                "algorithm": name,
+                "rounds_h": r.rounds_h,
+                "bits": r.total_message_bits,
+                "proper": r.proper,
+            }
+        )
+    print(f"workload: {w.name}  Delta={w.graph.max_degree}")
+    print(format_table(rows))
+    print(f"greedy would use {greedy_color_count(w.graph)} colors "
+          f"(budget {w.graph.max_degree + 1})")
+    return 0
+
+
+def _cmd_sketch(args) -> int:
+    from repro.sketch import direct_count_fingerprint, failure_probability_bound
+
+    rng = np.random.default_rng(args.seed)
+    fp = direct_count_fingerprint(rng, args.d, args.t)
+    estimate = fp.estimate()
+    print(f"hidden count d = {args.d}, trials t = {args.t}")
+    print(f"estimate d_hat = {estimate:.1f}  (error {estimate / args.d - 1:+.1%})")
+    print(f"encoded size: {fp.encoded_bits()} bits "
+          f"({fp.encoded_bits() / args.t:.2f} bits/trial; Lemma 5.6)")
+    print(f"Lemma 5.2 bound at xi=0.5: "
+          f"fail w.p. <= {failure_probability_bound(0.5, args.t):.3g}")
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    rows = []
+    for name, maker in GENERATORS.items():
+        w = maker(np.random.default_rng(0))
+        rows.append(
+            {
+                "name": name,
+                "machines": w.graph.n_machines,
+                "vertices": w.graph.n_vertices,
+                "Delta": w.graph.max_degree,
+                "notes": w.notes[:60],
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="(Delta+1)-coloring of cluster graphs (PODC 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p):
+        p.add_argument(
+            "--workload", choices=sorted(GENERATORS), default="planted_acd"
+        )
+        p.add_argument("--instance-seed", type=int, default=0)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_color = sub.add_parser("color", help="run the coloring pipeline")
+    add_workload_args(p_color)
+    p_color.add_argument(
+        "--regime", choices=["auto", "high_degree", "polylog", "low_degree"],
+        default="auto",
+    )
+    p_color.add_argument("--params", choices=["scaled", "paper"], default="scaled")
+    p_color.set_defaults(func=_cmd_color)
+
+    p_base = sub.add_parser("baselines", help="compare against the baselines")
+    add_workload_args(p_base)
+    p_base.set_defaults(func=_cmd_baselines)
+
+    p_sketch = sub.add_parser("sketch", help="fingerprint estimator demo")
+    p_sketch.add_argument("--d", type=int, default=1000)
+    p_sketch.add_argument("--t", type=int, default=800)
+    p_sketch.add_argument("--seed", type=int, default=0)
+    p_sketch.set_defaults(func=_cmd_sketch)
+
+    p_list = sub.add_parser("workloads", help="list instance generators")
+    p_list.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

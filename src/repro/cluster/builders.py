@@ -1,0 +1,182 @@
+"""Cluster-assignment builders: ways of obtaining ``H`` from ``G``.
+
+Cluster graphs arise in practice when algorithms contract edges (maximum
+flow), grow low-diameter clusters (network decomposition), or when the
+conflict graph is planted and the network is synthesized around it.  This
+module provides all three:
+
+* :func:`contraction_clusters` -- contract a random forest of ``G``;
+* :func:`voronoi_clusters` -- multi-source BFS regions (always connected);
+* :func:`blowup` -- synthesize ``G`` around a *desired* ``H``, controlling
+  cluster topology (hence dilation) and link multiplicity.  This is the
+  workhorse of the experiments: it lets us plant almost-cliques, cabals and
+  bridge pathologies with known ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.cluster.cluster_graph import ClusterGraph
+from repro.network.commgraph import CommGraph
+
+ClusterTopology = Literal["path", "star", "clique", "tree", "bridge"]
+
+
+def voronoi_clusters(
+    comm: CommGraph, n_clusters: int, rng: np.random.Generator
+) -> ClusterGraph:
+    """Partition ``G`` into ``n_clusters`` BFS (Voronoi) regions.
+
+    Multi-source BFS regions are connected by construction, satisfying
+    Definition 3.1.  ``G`` must be connected.
+    """
+    if n_clusters <= 0 or n_clusters > comm.n:
+        raise ValueError(f"n_clusters={n_clusters} out of range for n={comm.n}")
+    centers = rng.choice(comm.n, size=n_clusters, replace=False)
+    assignment = [-1] * comm.n
+    frontier: list[int] = []
+    for cid, center in enumerate(centers):
+        assignment[int(center)] = cid
+        frontier.append(int(center))
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in comm.neighbors(u):
+                if assignment[v] < 0:
+                    assignment[v] = assignment[u]
+                    nxt.append(v)
+        frontier = nxt
+    if any(a < 0 for a in assignment):
+        raise ValueError("communication graph is not connected")
+    return ClusterGraph.from_assignment(comm, assignment)
+
+
+def contraction_clusters(
+    comm: CommGraph, contraction_fraction: float, rng: np.random.Generator
+) -> ClusterGraph:
+    """Contract a random sub-forest covering roughly ``contraction_fraction``
+    of the machines, as edge-contracting algorithms do.
+
+    Each contracted tree becomes one cluster; untouched machines stay
+    singleton clusters (so the result is always a valid partition).
+    """
+    if not 0.0 <= contraction_fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    parent = list(range(comm.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    links = list(comm.iter_links())
+    rng.shuffle(links)
+    target_merges = int(contraction_fraction * comm.n)
+    merges = 0
+    for u, v in links:
+        if merges >= target_merges:
+            break
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            merges += 1
+    root_to_id: dict[int, int] = {}
+    assignment = []
+    for machine in range(comm.n):
+        root = find(machine)
+        if root not in root_to_id:
+            root_to_id[root] = len(root_to_id)
+        assignment.append(root_to_id[root])
+    return ClusterGraph.from_assignment(comm, assignment)
+
+
+def _cluster_internal_edges(
+    machines: Sequence[int], topology: ClusterTopology, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """Internal wiring of one cluster; controls its support-tree height."""
+    k = len(machines)
+    if k == 1:
+        return []
+    if topology == "path":
+        return [(machines[i], machines[i + 1]) for i in range(k - 1)]
+    if topology == "star":
+        return [(machines[0], machines[i]) for i in range(1, k)]
+    if topology == "clique":
+        return [
+            (machines[i], machines[j]) for i in range(k) for j in range(i + 1, k)
+        ]
+    if topology == "tree":
+        edges = []
+        for i in range(1, k):
+            j = int(rng.integers(0, i))
+            edges.append((machines[j], machines[i]))
+        return edges
+    if topology == "bridge":
+        # Two stars joined by a single bridge link (Figures 2/3): every path
+        # between the halves crosses one O(log n)-bit link.
+        half = k // 2
+        left, right = machines[:half], machines[half:]
+        edges = [(left[0], m) for m in left[1:]]
+        edges += [(right[0], m) for m in right[1:]]
+        edges.append((left[0], right[0]))
+        return edges
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def blowup(
+    conflict_graph: nx.Graph,
+    rng: np.random.Generator,
+    *,
+    cluster_size: int = 1,
+    topology: ClusterTopology = "star",
+    link_multiplicity: int = 1,
+    size_jitter: float = 0.0,
+) -> ClusterGraph:
+    """Synthesize a network ``G`` realizing a desired conflict graph ``H``.
+
+    Each vertex of ``conflict_graph`` becomes a cluster of about
+    ``cluster_size`` machines wired according to ``topology``; each H-edge is
+    realized by ``link_multiplicity`` links between machines chosen uniformly
+    in the two clusters (several links between the same cluster pair are the
+    norm in real cluster graphs -- Figure 1).
+
+    Returns a :class:`ClusterGraph` whose ``H`` equals ``conflict_graph`` (up
+    to the integer relabeling of networkx nodes).
+    """
+    if cluster_size < 1:
+        raise ValueError("cluster_size must be >= 1")
+    if link_multiplicity < 1:
+        raise ValueError("link_multiplicity must be >= 1")
+    relabeled = nx.convert_node_labels_to_integers(conflict_graph, ordering="sorted")
+    n_vertices = relabeled.number_of_nodes()
+
+    machine_lists: list[list[int]] = []
+    next_machine = 0
+    for _v in range(n_vertices):
+        size = cluster_size
+        if size_jitter > 0:
+            size = max(1, int(round(cluster_size * (1 + rng.uniform(-size_jitter, size_jitter)))))
+        machine_lists.append(list(range(next_machine, next_machine + size)))
+        next_machine += size
+
+    edges: list[tuple[int, int]] = []
+    for v, machines in enumerate(machine_lists):
+        edges.extend(_cluster_internal_edges(machines, topology, rng))
+    for u, v in relabeled.edges():
+        mu_list, mv_list = machine_lists[u], machine_lists[v]
+        for _ in range(link_multiplicity):
+            mu = mu_list[int(rng.integers(0, len(mu_list)))]
+            mv = mv_list[int(rng.integers(0, len(mv_list)))]
+            edges.append((mu, mv))
+
+    comm = CommGraph(next_machine, edges)
+    assignment = [0] * next_machine
+    for v, machines in enumerate(machine_lists):
+        for m in machines:
+            assignment[m] = v
+    return ClusterGraph.from_assignment(comm, assignment)

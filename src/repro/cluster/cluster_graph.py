@@ -1,0 +1,207 @@
+"""Cluster graphs (Definition 3.1).
+
+A cluster graph ``H`` over a communication network ``G`` partitions the
+machines into disjoint *connected* clusters; ``H`` has one node per cluster
+and an edge between two nodes iff some ``G``-link joins their clusters.
+
+The same pair of clusters may be joined by many links (Figure 1): this is
+what makes degree computation and palette discovery non-trivial in the
+model, so :class:`ClusterGraph` keeps the full multiset of realizing links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.network.commgraph import CommGraph
+from repro.cluster.support_tree import SupportTree
+
+
+@dataclass
+class ClusterGraph:
+    """The conflict graph ``H`` over network ``G``.
+
+    Construct via :meth:`from_assignment` (validates Definition 3.1) or
+    :meth:`identity` (the CONGEST special case ``H = G``).
+
+    Attributes
+    ----------
+    comm:
+        The underlying communication network ``G``.
+    assignment:
+        ``assignment[machine] -> vertex`` cluster identifiers, dense in
+        ``0..n_vertices-1``.
+    clusters:
+        ``clusters[v]`` is the sorted machine list of cluster ``v``.
+    trees:
+        Support tree per cluster (leader = tree root).
+    adj:
+        ``adj[v]`` is the sorted list of H-neighbors of ``v``.
+    links:
+        ``links[(u, v)]`` with ``u < v`` lists the G-links realizing H-edge
+        ``{u, v}``.
+    """
+
+    comm: CommGraph
+    assignment: list[int]
+    clusters: list[list[int]]
+    trees: list[SupportTree]
+    adj: list[list[int]]
+    links: dict[tuple[int, int], list[tuple[int, int]]]
+    _neighbor_sets: list[frozenset[int]] = field(default_factory=list, repr=False)
+
+    # ---- construction --------------------------------------------------------
+
+    @classmethod
+    def from_assignment(
+        cls, comm: CommGraph, assignment: Sequence[int]
+    ) -> "ClusterGraph":
+        """Build ``H`` from a machine-to-cluster assignment.
+
+        Raises
+        ------
+        ValueError
+            If the assignment is not a partition into connected clusters or
+            cluster ids are not dense in ``0..k-1``.
+        """
+        if len(assignment) != comm.n:
+            raise ValueError(
+                f"assignment covers {len(assignment)} machines; G has {comm.n}"
+            )
+        n_vertices = max(assignment) + 1
+        if min(assignment) < 0:
+            raise ValueError("cluster ids must be non-negative")
+        clusters: list[list[int]] = [[] for _ in range(n_vertices)]
+        for machine, vertex in enumerate(assignment):
+            clusters[vertex].append(machine)
+        for vertex, machines in enumerate(clusters):
+            if not machines:
+                raise ValueError(f"cluster id {vertex} is unused (ids must be dense)")
+
+        trees = [
+            SupportTree.build_bfs(comm, machines, cluster_id=vertex)
+            for vertex, machines in enumerate(clusters)
+        ]
+
+        adj_sets: list[set[int]] = [set() for _ in range(n_vertices)]
+        links: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for mu, mv in comm.iter_links():
+            cu, cv = assignment[mu], assignment[mv]
+            if cu == cv:
+                continue
+            a, b = (cu, cv) if cu < cv else (cv, cu)
+            adj_sets[a].add(b)
+            adj_sets[b].add(a)
+            key = (a, b)
+            link = (mu, mv) if cu < cv else (mv, mu)
+            links.setdefault(key, []).append(link)
+
+        adj = [sorted(s) for s in adj_sets]
+        return cls(
+            comm=comm,
+            assignment=list(assignment),
+            clusters=clusters,
+            trees=trees,
+            adj=adj,
+            links=links,
+            _neighbor_sets=[frozenset(s) for s in adj_sets],
+        )
+
+    @classmethod
+    def identity(cls, comm: CommGraph) -> "ClusterGraph":
+        """The CONGEST special case: every machine is its own cluster."""
+        return cls.from_assignment(comm, list(range(comm.n)))
+
+    # ---- structure -----------------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of H-nodes (clusters)."""
+        return len(self.clusters)
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines in ``G`` (the ``n`` of the theorems)."""
+        return self.comm.n
+
+    def degree(self, v: int) -> int:
+        """True degree of ``v`` in ``H`` (links to the same cluster counted
+        once -- the quantity that is *hard* to compute in the model).
+        """
+        return len(self.adj[v])
+
+    def link_count(self, v: int) -> int:
+        """Number of inter-cluster links incident to ``v`` -- the easy
+        aggregate that can grossly overestimate :meth:`degree` (Section 1.1).
+        """
+        total = 0
+        for u in self.adj[v]:
+            key = (u, v) if u < v else (v, u)
+            total += len(self.links[key])
+        return total
+
+    def neighbors(self, v: int) -> list[int]:
+        """H-neighbors of ``v`` (sorted list)."""
+        return self.adj[v]
+
+    def neighbor_set(self, v: int) -> frozenset[int]:
+        """H-neighbors of ``v`` as a frozenset (for intersection tests)."""
+        return self._neighbor_sets[v]
+
+    def are_adjacent(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an H-edge."""
+        return v in self._neighbor_sets[u]
+
+    @property
+    def max_degree(self) -> int:
+        """``Delta``, the maximum degree of ``H``."""
+        return max((len(a) for a in self.adj), default=0)
+
+    @property
+    def dilation(self) -> int:
+        """``d``: maximum support-tree height over all clusters."""
+        return max((t.height for t in self.trees), default=1)
+
+    def cluster_size(self, v: int) -> int:
+        """Number of machines in cluster ``v``."""
+        return len(self.clusters[v])
+
+    def leader(self, v: int) -> int:
+        """Leader machine of cluster ``v`` (support-tree root)."""
+        return self.trees[v].root
+
+    def iter_h_edges(self) -> Iterable[tuple[int, int]]:
+        """All H-edges ``(u, v)`` with ``u < v``."""
+        return self.links.keys()
+
+    @property
+    def n_h_edges(self) -> int:
+        """Number of edges of ``H``."""
+        return len(self.links)
+
+    def anti_neighbors_within(self, v: int, vertex_set: Iterable[int]) -> list[int]:
+        """Vertices of ``vertex_set`` that are NOT adjacent to ``v`` (and are
+        not ``v``) -- anti-neighbors in the sense of Section 4.1.
+        """
+        nbrs = self._neighbor_sets[v]
+        return [u for u in vertex_set if u != v and u not in nbrs]
+
+    def neighbor_array(self, v: int):
+        """H-neighbors of ``v`` as a cached numpy array (hot path for the
+        coloring algorithms' conflict checks)."""
+        import numpy as np
+
+        cache = getattr(self, "_adj_arrays", None)
+        if cache is None:
+            cache = [None] * self.n_vertices
+            self._adj_arrays = cache
+        if cache[v] is None:
+            cache[v] = np.asarray(self.adj[v], dtype=np.int64)
+        return cache[v]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ClusterGraph(vertices={self.n_vertices}, machines={self.n_machines}, "
+            f"Delta={self.max_degree}, dilation={self.dilation})"
+        )

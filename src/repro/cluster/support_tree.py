@@ -1,0 +1,122 @@
+"""Support trees ``T(v)`` spanning each cluster (Section 3.2).
+
+Each cluster elects a leader and computes a BFS tree of ``G`` restricted to
+its machines.  The *dilation* ``d`` of a cluster graph is the maximum
+diameter of a support tree; all round costs on ``G`` scale linearly with it
+(Theorems 1.1/1.2 state the ``d`` factor explicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.network.commgraph import CommGraph
+
+
+@dataclass(frozen=True)
+class SupportTree:
+    """A rooted spanning tree of one cluster.
+
+    Attributes
+    ----------
+    cluster_id:
+        The H-vertex this tree supports.
+    root:
+        The leader machine.
+    parent:
+        ``parent[machine]`` is the parent machine, or ``None`` for the root.
+        Only machines of this cluster appear as keys.
+    depth_of:
+        Distance (in tree hops) of each machine from the root.
+    height:
+        Maximum depth; one broadcast or convergecast costs ``height`` rounds
+        on ``G`` (``>= 1`` so even singleton clusters cost a round).
+    """
+
+    cluster_id: int
+    root: int
+    parent: dict[int, int | None]
+    depth_of: dict[int, int]
+    height: int
+
+    @classmethod
+    def build_bfs(
+        cls, comm: CommGraph, machines: Sequence[int], cluster_id: int, root: int | None = None
+    ) -> "SupportTree":
+        """BFS spanning tree of ``G[machines]`` rooted at ``root`` (default:
+        the smallest machine id, a deterministic leader election).
+
+        Raises
+        ------
+        ValueError
+            If ``G[machines]`` is not connected (Definition 3.1 requires it).
+        """
+        if not machines:
+            raise ValueError("cluster must contain at least one machine")
+        member = set(machines)
+        if root is None:
+            root = min(machines)
+        if root not in member:
+            raise ValueError(f"root {root} not in cluster {cluster_id}")
+        parent: dict[int, int | None] = {root: None}
+        depth_of: dict[int, int] = {root: 0}
+        frontier = [root]
+        height = 0
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for w in comm.neighbors(u):
+                    if w in member and w not in parent:
+                        parent[w] = u
+                        depth_of[w] = depth_of[u] + 1
+                        height = max(height, depth_of[w])
+                        nxt.append(w)
+            frontier = nxt
+        if len(parent) != len(member):
+            missing = sorted(member - parent.keys())[:5]
+            raise ValueError(
+                f"cluster {cluster_id} is not connected in G; "
+                f"unreachable machines include {missing}"
+            )
+        return cls(
+            cluster_id=cluster_id,
+            root=root,
+            parent=parent,
+            depth_of=depth_of,
+            height=max(1, height),
+        )
+
+    @property
+    def machines(self) -> list[int]:
+        """All machines of the cluster (tree vertices)."""
+        return list(self.parent.keys())
+
+    def children(self) -> dict[int, list[int]]:
+        """Child lists per machine, in sorted (ordered-tree) order.
+
+        The ordering makes the tree an *ordered tree* in the sense of
+        Lemma 3.3, inducing a total order on its vertices.
+        """
+        kids: dict[int, list[int]] = {m: [] for m in self.parent}
+        for machine, par in self.parent.items():
+            if par is not None:
+                kids[par].append(machine)
+        for lst in kids.values():
+            lst.sort()
+        return kids
+
+    def dfs_order(self) -> list[int]:
+        """Vertices in the total order induced by the ordered tree
+        (preorder: ancestors before descendants, children in sorted order).
+        """
+        kids = self.children()
+        order: list[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            # push children reversed so the smallest is visited first
+            for child in reversed(kids[node]):
+                stack.append(child)
+        return order

@@ -1,0 +1,23 @@
+"""The (Δ+1)-coloring engine: Sections 4, 6, 7, 8, 9 of the paper."""
+
+from repro.coloring.types import UNCOLORED, CliquePaletteView, PartialColoring
+from repro.coloring.errors import StageFailure
+from repro.coloring.stats import ColoringResult, ColoringStats
+from repro.coloring.pipeline import color_cluster_graph, fallback_color
+from repro.coloring.polylog import color_polylog
+from repro.coloring.relays import find_relays
+from repro.coloring.defective import weighted_defective_coloring
+
+__all__ = [
+    "UNCOLORED",
+    "CliquePaletteView",
+    "PartialColoring",
+    "StageFailure",
+    "ColoringResult",
+    "ColoringStats",
+    "color_cluster_graph",
+    "fallback_color",
+    "color_polylog",
+    "find_relays",
+    "weighted_defective_coloring",
+]

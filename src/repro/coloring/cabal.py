@@ -1,0 +1,234 @@
+"""ColoringCabals (Algorithm 5 / Proposition 4.7).
+
+Cabals -- almost-cliques with ``e~_K < ℓ`` -- are colored last, after
+everything else, and with three extra moving parts:
+
+1. the colorful matching falls back to the **fingerprint algorithm** of
+   Section 6 when random trials find too few anti-edges (the coloring is
+   *cancelled* first, exactly as the paper prescribes);
+2. **put-aside sets** (Lemma 4.18) stay uncolored through the synchronized
+   color trial and the reserved-color MultiColorTrial, manufacturing slack;
+3. put-aside sets are finally colored by **donation** (Section 7).
+"""
+
+from __future__ import annotations
+
+from repro.aggregation.runtime import ClusterRuntime
+from repro.coloring.clique_palette import palette_view
+from repro.coloring.colorful_matching import colorful_matching
+from repro.coloring.donors import CabalPlan, color_put_aside_sets
+from repro.coloring.errors import StageFailure
+from repro.coloring.fingerprint_matching import (
+    color_anti_edge_matching,
+    fingerprint_matching,
+)
+from repro.coloring.multicolor_trial import multicolor_trial
+from repro.coloring.outliers import inliers_cabal
+from repro.coloring.put_aside import compute_put_aside
+from repro.coloring.slack import reserved_zone
+from repro.coloring.synchronized_trial import SctPlan, synchronized_color_trial
+from repro.coloring.try_color import try_color_until, uniform_range_sampler
+from repro.coloring.types import PartialColoring
+from repro.decomposition.acd import AlmostCliqueDecomposition
+
+
+def matching_rerun_threshold(runtime: ClusterRuntime) -> int:
+    """``M_K`` below this triggers the fingerprint rerun (the paper's
+    ``Ω(C/eps · log n)`` test, scaled to the cabal threshold ``ℓ``)."""
+    return max(2, runtime.params.ell(runtime.n) // 2)
+
+
+def color_cabals(
+    runtime: ClusterRuntime,
+    coloring: PartialColoring,
+    acd: AlmostCliqueDecomposition,
+    *,
+    stats=None,
+    op: str = "cabals",
+) -> None:
+    """Run Algorithm 5 over every cabal.
+
+    Raises :class:`StageFailure` (affected vertices attached) when a cabal
+    cannot be finished; the pipeline's fallback completes those vertices.
+    """
+    params = runtime.params
+    graph = runtime.graph
+    indices = acd.cabal_indices()
+    if not indices:
+        return
+    delta = graph.max_degree
+    floor_zone = min(reserved_zone(params, delta), coloring.num_colors - 1)
+
+    # ---- Step 1: colorful matching, with the Section 6 rerun -------------
+    snapshot = coloring.copy()
+    matching = colorful_matching(
+        runtime,
+        coloring,
+        {idx: acd.cliques[idx] for idx in indices},
+        reserved_floor=floor_zone,
+        op=op + "_matching",
+    )
+    threshold = matching_rerun_threshold(runtime)
+    rerun = [idx for idx in indices if matching[idx] < threshold]
+    for idx in rerun:
+        # cancel the trial-based matching in this cabal and use fingerprints
+        for v in acd.cliques[idx]:
+            if coloring.is_colored(v) and not snapshot.is_colored(v):
+                coloring.uncolor(v)
+        found = fingerprint_matching(runtime, idx, acd.cliques[idx], op=op + "_fpm")
+        colored = color_anti_edge_matching(
+            runtime,
+            coloring,
+            [found],
+            reserved_floor=floor_zone,
+            members_by_clique={idx: acd.cliques[idx]},
+            op=op + "_fpm_color",
+        )
+        matching[idx] = colored[idx]
+        if stats is not None:
+            stats.notes.append(
+                f"cabal {idx}: fingerprint matching of {found.size} anti-edges, "
+                f"{colored[idx]} colored"
+            )
+
+    big_matching = {idx for idx in indices if matching[idx] >= 2 * params.eps * delta}
+    worklist = [idx for idx in indices if idx not in big_matching]
+    for idx in big_matching:
+        sampler = uniform_range_sampler(runtime, coloring.num_colors, acd.reserved[idx])
+        leftover = try_color_until(
+            runtime, coloring, acd.cliques[idx], sampler, max_rounds=8, op=op + "_bigM"
+        )
+        if leftover:
+            space = list(range(acd.reserved[idx], coloring.num_colors))
+            multicolor_trial(
+                runtime, coloring, leftover, lambda _v, s=space: s, op=op + "_bigM_mct"
+            )
+
+    # ---- Step 2: outliers ---------------------------------------------------
+    split = {idx: inliers_cabal(acd, idx) for idx in worklist}
+    all_outliers = [v for idx in worklist for v in split[idx][1]]
+    if all_outliers:
+        sampler = uniform_range_sampler(runtime, coloring.num_colors, floor_zone)
+        leftover = try_color_until(
+            runtime, coloring, all_outliers, sampler, max_rounds=8, op=op + "_outliers"
+        )
+        if leftover:
+            space = list(range(floor_zone, coloring.num_colors))
+            multicolor_trial(
+                runtime, coloring, leftover, lambda _v, s=space: s,
+                op=op + "_outliers_mct",
+            )
+
+    # ---- Step 3: put-aside sets ----------------------------------------------
+    eligible = {
+        idx: coloring.uncolored_vertices(split[idx][0]) for idx in worklist
+    }
+    # Put-aside size: the reserved-color count of the cabal, shrunk when the
+    # cabal is too small to spare that many vertices (scaled regime guard).
+    r_target = {
+        idx: max(
+            1,
+            min(acd.reserved[idx], max(1, len(eligible[idx]) // 3)),
+        )
+        for idx in worklist
+    }
+    put_aside: dict[int, list[int]] = {}
+    pending = list(worklist)
+    for attempt in range(params.max_stage_retries):
+        if not pending:
+            break
+        try:
+            r_common = min(r_target[idx] for idx in pending)
+            put_aside.update(
+                compute_put_aside(
+                    runtime,
+                    coloring,
+                    {idx: eligible[idx] for idx in pending},
+                    r_common,
+                    op=op + "_put_aside",
+                )
+            )
+            pending = []
+        except StageFailure:
+            if stats is not None:
+                stats.record_retry(op + "_put_aside")
+            continue
+    if pending:
+        raise StageFailure(
+            op + "_put_aside",
+            f"cabals {pending} could not field put-aside sets",
+            [v for idx in pending for v in eligible[idx]],
+        )
+
+    # ---- Step 4: synchronized color trial ------------------------------------
+    plans: list[SctPlan] = []
+    views = {}
+    for idx in worklist:
+        aside = set(put_aside.get(idx, ()))
+        participants = [v for v in eligible[idx] if v not in aside]
+        r_k = acd.reserved[idx]
+        view = palette_view(runtime, coloring, acd.cliques[idx], op=op + "_palette")
+        views[idx] = view
+        capacity = int(view.free_above(r_k).size)
+        participants = participants[: max(0, capacity)]
+        if participants:
+            plans.append(
+                SctPlan(participants=participants, palette=view, reserved_floor=r_k)
+            )
+    if plans:
+        synchronized_color_trial(runtime, coloring, plans, op=op + "_sct")
+
+    # ---- Step 5: MultiColorTrial on reserved colors ---------------------------
+    for idx in worklist:
+        aside = set(put_aside.get(idx, ()))
+        remaining = [
+            v
+            for v in coloring.uncolored_vertices(acd.cliques[idx])
+            if v not in aside
+        ]
+        if not remaining:
+            continue
+        reserved_list = list(range(acd.reserved[idx]))
+        leftover = multicolor_trial(
+            runtime,
+            coloring,
+            remaining,
+            lambda _v, s=reserved_list: s,
+            op=op + "_mct_reserved",
+            raise_on_leftover=False,
+        )
+        if leftover:
+            raise StageFailure(
+                op + "_mct", f"cabal {idx}: {len(leftover)} left before put-aside",
+                leftover + list(aside),
+            )
+
+    # ---- Step 6: color put-aside sets by donation ------------------------------
+    cabal_plans = [
+        CabalPlan(
+            clique_index=idx,
+            members=acd.cliques[idx],
+            put_aside=put_aside.get(idx, []),
+            inliers=split[idx][0],
+        )
+        for idx in worklist
+    ]
+    leftover = color_put_aside_sets(runtime, coloring, cabal_plans, op=op + "_donation")
+    for _ in range(params.max_stage_retries):
+        if not leftover:
+            break
+        if stats is not None:
+            stats.record_retry(op + "_donation")
+        leftover = color_put_aside_sets(
+            runtime,
+            coloring,
+            [p for p in cabal_plans if any(not coloring.is_colored(u) for u in p.put_aside)],
+            op=op + "_donation",
+        )
+    final_leftover = [
+        v for idx in indices for v in coloring.uncolored_vertices(acd.cliques[idx])
+    ]
+    if final_leftover:
+        raise StageFailure(
+            op, f"{len(final_leftover)} cabal vertices uncolored", final_leftover
+        )

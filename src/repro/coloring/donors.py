@@ -1,0 +1,341 @@
+"""Coloring put-aside sets by color donation (Section 7, Algorithms 8-10).
+
+Once everything but the put-aside sets is colored, a cabal's machines may be
+connected to the outside world through a single ``O(log n)``-bit link
+(Figure 3), so a put-aside vertex cannot *search* for a free color.  Instead
+already-colored vertices donate:
+
+    replacement color  ->  donor  ->  put-aside vertex
+
+a three-way matching (Figure 4) built in four steps:
+
+1. **TryFreeColors** -- if the clique palette still has ``>= ell_s`` free
+   colors, put-aside vertices simply sample them (hash-compressed queries).
+2. **FindCandidateDonors** (Algorithm 9) -- colored inliers holding a color
+   unique in ``K``, with no (active or put-aside) foreign neighbors, so each
+   cabal recolors independently.
+3. **FindSafeDonors** (Algorithm 10) -- for each put-aside vertex ``u_i``, a
+   replacement color ``c_i`` from the clique palette and a set ``S_i`` of
+   candidate donors who (a) can themselves move to ``c_i`` and (b) hold
+   colors from one contiguous *block* of the color space, so a handful of
+   donations fits in one ``O(log n)``-bit message (block index + offsets).
+4. **DonateColors** -- ``u_i`` samples ``k = Θ(log n/loglog n)`` donations
+   from ``S_i`` and takes the first whose color no external neighbor uses;
+   the donor moves to ``c_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aggregation.runtime import ClusterRuntime
+from repro.coloring.clique_palette import palette_view
+from repro.coloring.errors import StageFailure
+from repro.coloring.types import CliquePaletteView, PartialColoring, UNCOLORED
+from repro.sketch.fingerprint import direct_count_fingerprint
+
+
+@dataclass
+class CabalPlan:
+    """Inputs Section 7 needs for one cabal."""
+
+    clique_index: int
+    members: list[int]
+    put_aside: list[int]
+    inliers: list[int]
+
+
+def _colors_in_clique(coloring: PartialColoring, members: list[int]) -> dict[int, int]:
+    """Multiplicity of each color inside ``K`` (for uniqueness tests --
+    implemented distributedly by random groups doing min-ID scans)."""
+    counts: dict[int, int] = {}
+    for v in members:
+        c = coloring.get(v)
+        if c != UNCOLORED:
+            counts[c] = counts.get(c, 0) + 1
+    return counts
+
+
+def try_free_colors(
+    runtime: ClusterRuntime,
+    coloring: PartialColoring,
+    plan: CabalPlan,
+    view: CliquePaletteView,
+    ell_s: int,
+    *,
+    op: str = "try_free_colors",
+) -> list[int]:
+    """Step 2 of Algorithm 8: the clique palette is rich, so put-aside
+    vertices sample from its ``ell_s`` smallest colors (hash-compressed in
+    the paper; the message is ``k * O(loglog n) = O(log n)`` bits).
+
+    Returns vertices still uncolored (empty w.h.p.).
+    """
+    k = runtime.params.donation_samples(runtime.n)
+    window = view.free[: min(ell_s, view.size)]
+    taken: set[int] = set()
+    leftover: list[int] = []
+    for u in plan.put_aside:
+        if coloring.is_colored(u):
+            continue
+        picks = runtime.rng.integers(0, max(1, window.size), size=k)
+        chosen = None
+        for i in picks:
+            c = int(window[int(i)])
+            if c in taken:
+                continue
+            if coloring.is_free_for(runtime.graph, u, c):
+                chosen = c
+                break
+        if chosen is None:
+            leftover.append(u)
+        else:
+            taken.add(chosen)
+            coloring.assign(u, chosen)
+    runtime.h_rounds(op, count=2, bits=runtime.id_bits)
+    return leftover
+
+
+def find_candidate_donors(
+    runtime: ClusterRuntime,
+    coloring: PartialColoring,
+    plans: list[CabalPlan],
+    *,
+    op: str = "candidate_donors",
+) -> dict[int, list[int]]:
+    """Algorithm 9: candidate donor sets ``Q_K``, computed jointly so the
+    cross-cabal independence filters see every cabal's choices.
+    """
+    graph = runtime.graph
+    params = runtime.params
+    put_aside_owner: dict[int, int] = {}
+    for plan in plans:
+        for v in plan.put_aside:
+            put_aside_owner[v] = plan.clique_index
+
+    # Step 1: colored inliers with no external neighbor in a foreign
+    # put-aside set.  Step 2: independent activation.
+    active_owner: dict[int, int] = {}
+    active_by_plan: dict[int, list[int]] = {}
+    color_counts: dict[int, dict[int, int]] = {}
+    for plan in plans:
+        color_counts[plan.clique_index] = _colors_in_clique(coloring, plan.members)
+        pre: list[int] = []
+        put_mine = set(plan.put_aside)
+        for v in plan.inliers:
+            if not coloring.is_colored(v) or v in put_mine:
+                continue
+            foreign_put = any(
+                put_aside_owner.get(u, plan.clique_index) != plan.clique_index
+                for u in graph.neighbors(v)
+            )
+            if foreign_put:
+                continue
+            pre.append(v)
+        active = [v for v in pre if runtime.rng.random() < params.donor_activation]
+        active_by_plan[plan.clique_index] = active
+        for v in active:
+            active_owner[v] = plan.clique_index
+    runtime.h_rounds(op + "_activate", count=2)
+
+    # Step 3: keep active vertices whose color is unique in K and who have
+    # no *active* external neighbor.
+    result: dict[int, list[int]] = {}
+    for plan in plans:
+        idx = plan.clique_index
+        counts = color_counts[idx]
+        chosen: list[int] = []
+        for v in active_by_plan[idx]:
+            if counts.get(coloring.get(v), 0) != 1:
+                continue
+            clash = any(
+                active_owner.get(u, idx) != idx for u in graph.neighbors(v)
+            )
+            if not clash:
+                chosen.append(v)
+        result[idx] = chosen
+    runtime.h_rounds(op + "_filter", count=2)
+    return result
+
+
+@dataclass
+class SafeDonorAssignment:
+    """Lemma 7.3's triplet for one put-aside vertex ``u_i``."""
+
+    replacement_color: int
+    block_index: int
+    donors: list[int]
+
+
+def find_safe_donors(
+    runtime: ClusterRuntime,
+    coloring: PartialColoring,
+    plan: CabalPlan,
+    donors_q: list[int],
+    view: CliquePaletteView,
+    *,
+    op: str = "safe_donors",
+) -> list[SafeDonorAssignment]:
+    """Algorithm 10: replacement colors, blocks and safe-donor sets.
+
+    Raises :class:`StageFailure` if fewer than ``|P_K|`` replacement colors
+    reach the ``2 * quota`` estimated-population bar (Step 3's ``beta``).
+    """
+    graph = runtime.graph
+    params = runtime.params
+    r = len(plan.put_aside)
+    quota = params.donor_quota(runtime.n)
+    block = params.donor_block_size(runtime.n, graph.max_degree)
+
+    # Step 1: every candidate donor samples a uniform clique-palette color
+    # and keeps it only if it is in its own palette too.
+    sampled: dict[tuple[int, int], list[int]] = {}  # (color, block_j) -> donors
+    if view.size > 0:
+        for v in donors_q:
+            c = int(view.free[int(runtime.rng.integers(0, view.size))])
+            if not coloring.is_free_for(graph, v, c):
+                continue
+            j = coloring.get(v) // block
+            sampled.setdefault((c, j), []).append(v)
+    runtime.h_rounds(op + "_sample", count=2, bits=runtime.color_bits)
+
+    # Step 2: random group (c, j) estimates its population by fingerprint.
+    beta: dict[tuple[int, int], float] = {}
+    trials = params.fingerprint_trials(runtime.n, 0.5)
+    for key, vs in sampled.items():
+        beta[key] = direct_count_fingerprint(runtime.rng, len(vs), trials).estimate()
+    runtime.wide_message(op + "_beta", 2 * trials + 16)
+
+    # Steps 3-4: per color, the smallest block whose estimate clears the
+    # bar; take the first r such colors (prefix sums over a clique tree).
+    block_of: dict[int, int] = {}
+    for (c, j), estimate in sorted(beta.items()):
+        if estimate > 2 * quota and c not in block_of:
+            block_of[c] = j
+    if len(block_of) < r:
+        raise StageFailure(
+            op,
+            f"cabal {plan.clique_index}: only {len(block_of)} replacement "
+            f"colors reached the 2x{quota} donor bar; need {r}",
+            affected=plan.put_aside,
+        )
+    runtime.h_rounds(op + "_select", count=2)
+    out: list[SafeDonorAssignment] = []
+    for c in sorted(block_of)[:r]:
+        j = block_of[c]
+        out.append(
+            SafeDonorAssignment(
+                replacement_color=c, block_index=j, donors=sampled[(c, j)]
+            )
+        )
+    return out
+
+
+def donate_colors(
+    runtime: ClusterRuntime,
+    coloring: PartialColoring,
+    plan: CabalPlan,
+    assignments: list[SafeDonorAssignment],
+    *,
+    op: str = "donate",
+) -> list[int]:
+    """Step 6 of Algorithm 8: sample donations, commit the double recoloring
+    ``φ_total`` of Section 7.1.  Returns put-aside vertices left uncolored
+    (empty w.h.p.).
+
+    The ``k`` donation offers fit one ``O(log Δ + k log b)``-bit message
+    because all of ``S_i`` holds colors from block ``j_i`` (offsets only).
+    """
+    graph = runtime.graph
+    k = runtime.params.donation_samples(runtime.n)
+    leftover: list[int] = []
+    for u, assignment in zip(plan.put_aside, assignments):
+        if coloring.is_colored(u):
+            continue
+        donors = [
+            v
+            for v in assignment.donors
+            if coloring.is_free_for(graph, v, assignment.replacement_color)
+        ]
+        accepted = None
+        if donors:
+            picks = runtime.rng.integers(0, len(donors), size=k)
+            for i in picks:
+                v = donors[int(i)]
+                c_don = coloring.get(v)
+                # acceptable iff no neighbor of u except the donor itself
+                # carries c_don (unique in K; externals are the real test)
+                nbrs = graph.neighbor_array(u)
+                clash = False
+                for w in nbrs[coloring.colors[nbrs] == c_don]:
+                    if int(w) != v:
+                        clash = True
+                        break
+                if not clash:
+                    accepted = (v, c_don)
+                    break
+        if accepted is None:
+            leftover.append(u)
+            continue
+        v, c_don = accepted
+        coloring.recolor(v, assignment.replacement_color)
+        coloring.assign(u, c_don)
+    runtime.h_rounds(op, count=3, bits=runtime.id_bits)
+    return leftover
+
+
+def color_put_aside_sets(
+    runtime: ClusterRuntime,
+    coloring: PartialColoring,
+    plans: list[CabalPlan],
+    *,
+    op: str = "color_put_aside",
+) -> list[int]:
+    """ColorPutAsideSets (Algorithm 8) over all cabals; ``O(1)`` rounds.
+
+    Returns the put-aside vertices that could not be colored (empty
+    w.h.p.); the caller's fallback handles any leftover.
+    """
+    params = runtime.params
+    ell_s = params.ell_s(runtime.n)
+    rich: list[tuple[CabalPlan, CliquePaletteView]] = []
+    poor: list[tuple[CabalPlan, CliquePaletteView]] = []
+    for plan in plans:
+        view = palette_view(runtime, coloring, plan.members, op=op + "_palette")
+        if view.size >= ell_s:
+            rich.append((plan, view))
+        else:
+            poor.append((plan, view))
+
+    leftover: list[int] = []
+    for plan, view in rich:
+        leftover.extend(try_free_colors(runtime, coloring, plan, view, ell_s, op=op))
+
+    if poor:
+        donor_sets = find_candidate_donors(
+            runtime, coloring, [plan for plan, _ in poor], op=op + "_candidates"
+        )
+        for plan, view in poor:
+            try:
+                assignments = find_safe_donors(
+                    runtime,
+                    coloring,
+                    plan,
+                    donor_sets.get(plan.clique_index, []),
+                    view,
+                    op=op + "_safe",
+                )
+            except StageFailure:
+                # Donor populations too thin (possible when |K| is barely
+                # above r at laptop scale): degrade to the free-colors path
+                # on whatever the clique palette still offers.
+                leftover.extend(
+                    try_free_colors(
+                        runtime, coloring, plan, view, ell_s, op=op + "_free_fb"
+                    )
+                )
+                continue
+            leftover.extend(
+                donate_colors(runtime, coloring, plan, assignments, op=op + "_donate")
+            )
+    return leftover

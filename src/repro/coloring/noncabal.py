@@ -1,0 +1,153 @@
+"""ColoringNonCabals (Algorithm 4 / Proposition 4.6).
+
+Order of operations inside every non-cabal almost-clique:
+
+1. **ColorfulMatching** (Lemma 4.9) -- create reuse slack; if the matching
+   is enormous (``M_K ≥ 2 eps Δ``) the whole clique already has ``Ω(eps Δ)``
+   slack and is colored wholesale.
+2. **ColoringOutliers** -- high-external/anti-degree vertices go first,
+   against non-reserved colors, while uncolored inliers give them
+   temporary slack.
+3. **SynchronizedColorTrial** (Lemma 4.13) -- one shot that leaves only
+   ``O(max(e_K, ℓ))`` inliers uncolored.
+4. **Complete** (Section 8) -- Phase I clique-palette trials gated by the
+   ``z̃`` proxy, then MultiColorTrial on reserved colors.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation.runtime import ClusterRuntime
+from repro.coloring.clique_palette import palette_view
+from repro.coloring.colorful_matching import colorful_matching
+from repro.coloring.complete import CliqueFinishPlan, complete_noncabals
+from repro.coloring.errors import StageFailure
+from repro.coloring.multicolor_trial import multicolor_trial
+from repro.coloring.outliers import inliers_noncabal
+from repro.coloring.slack import reserved_zone
+from repro.coloring.synchronized_trial import SctPlan, synchronized_color_trial
+from repro.coloring.try_color import try_color_until, uniform_range_sampler
+from repro.coloring.types import PartialColoring
+from repro.decomposition.acd import AlmostCliqueDecomposition
+
+
+def _color_whole_clique(
+    runtime: ClusterRuntime,
+    coloring: PartialColoring,
+    members: list[int],
+    floor: int,
+    *,
+    op: str,
+) -> None:
+    """The ``M_K ≥ 2 eps Δ`` shortcut: everyone has ``Ω(eps Δ)`` slack, so a
+    constant number of TryColor rounds plus MCT finishes the clique."""
+    num_colors = coloring.num_colors
+    sampler = uniform_range_sampler(runtime, num_colors, floor)
+    leftover = try_color_until(
+        runtime, coloring, list(members), sampler, max_rounds=8, op=op + "_trycolor"
+    )
+    if leftover:
+        space = list(range(floor, num_colors))
+        multicolor_trial(
+            runtime,
+            coloring,
+            leftover,
+            lambda _v, s=space: s,
+            op=op + "_mct",
+        )
+
+
+def color_noncabals(
+    runtime: ClusterRuntime,
+    coloring: PartialColoring,
+    acd: AlmostCliqueDecomposition,
+    *,
+    op: str = "noncabals",
+) -> None:
+    """Run Algorithm 4 over every non-cabal almost-clique.
+
+    Raises :class:`StageFailure` with the affected vertices when a step
+    misses its postcondition; the pipeline's fallback completes them.
+    """
+    params = runtime.params
+    graph = runtime.graph
+    indices = acd.non_cabal_indices()
+    if not indices:
+        return
+    delta = graph.max_degree
+    floor_zone = reserved_zone(params, delta)
+    gamma = params.mct_slack_coeff
+
+    # Step 1: colorful matching in every non-cabal simultaneously.
+    matching = colorful_matching(
+        runtime,
+        coloring,
+        {idx: acd.cliques[idx] for idx in indices},
+        reserved_floor=min(floor_zone, coloring.num_colors - 1),
+        op=op + "_matching",
+    )
+
+    big_matching = [idx for idx in indices if matching[idx] >= 2 * params.eps * delta]
+    for idx in big_matching:
+        _color_whole_clique(
+            runtime,
+            coloring,
+            acd.cliques[idx],
+            acd.reserved[idx],
+            op=op + "_bigM",
+        )
+    worklist = [idx for idx in indices if idx not in set(big_matching)]
+
+    # Step 2: outliers first, on non-reserved colors.
+    split = {
+        idx: inliers_noncabal(acd, graph, idx, matching[idx], gamma)
+        for idx in worklist
+    }
+    all_outliers = [v for idx in worklist for v in split[idx][1]]
+    if all_outliers:
+        sampler = uniform_range_sampler(runtime, coloring.num_colors, floor_zone)
+        leftover = try_color_until(
+            runtime, coloring, all_outliers, sampler, max_rounds=8, op=op + "_outliers"
+        )
+        if leftover:
+            space = list(range(floor_zone, coloring.num_colors))
+            multicolor_trial(
+                runtime,
+                coloring,
+                leftover,
+                lambda _v, s=space: s,
+                op=op + "_outliers_mct",
+            )
+
+    # Step 3: synchronized color trial, all cliques at once.
+    plans: list[SctPlan] = []
+    for idx in worklist:
+        inliers = split[idx][0]
+        uncolored = coloring.uncolored_vertices(inliers)
+        r_k = acd.reserved[idx]
+        view = palette_view(runtime, coloring, acd.cliques[idx], op=op + "_palette")
+        capacity = int(view.free_above(r_k).size)
+        take = min(max(0, len(uncolored) - r_k), capacity)
+        if take <= 0:
+            continue
+        order = runtime.rng.permutation(len(uncolored))[:take]
+        participants = [uncolored[int(i)] for i in order]
+        plans.append(SctPlan(participants=participants, palette=view, reserved_floor=r_k))
+    if plans:
+        synchronized_color_trial(runtime, coloring, plans, op=op + "_sct")
+
+    # Step 4: Section 8's Complete.
+    finish = [
+        CliqueFinishPlan(
+            clique_index=idx, inliers=split[idx][0], matching_size=matching[idx]
+        )
+        for idx in worklist
+    ]
+    complete_noncabals(runtime, coloring, acd, finish, gamma=gamma, op=op + "_complete")
+
+    leftover = [
+        v
+        for idx in indices
+        for v in coloring.uncolored_vertices(acd.cliques[idx])
+    ]
+    if leftover:
+        raise StageFailure(op, f"{len(leftover)} non-cabal vertices uncolored", leftover)

@@ -1,0 +1,82 @@
+"""Put-aside sets (Lemma 4.18).
+
+Each cabal deliberately leaves ``r`` inliers uncolored until the very end,
+manufacturing temporary slack for everyone else.  Requirements:
+
+1. ``|P_K| = r`` exactly;
+2. no edge joins put-aside sets of different cabals (so Section 7 can
+   recolor each cabal independently);
+3. few vertices of ``K`` have any neighbor in other cabals' put-aside sets
+   (the extra guarantee this paper adds over [HKNT22], needed by the donor
+   search).
+
+Construction (Algorithm 20's standard shape): sample ``3r`` candidates per
+cabal, drop any candidate adjacent to a foreign candidate -- cabals have so
+few external edges that w.h.p. at least ``r`` survive.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation.runtime import ClusterRuntime
+from repro.coloring.errors import StageFailure
+from repro.coloring.types import PartialColoring
+
+
+def compute_put_aside(
+    runtime: ClusterRuntime,
+    coloring: PartialColoring,
+    eligible: dict[int, list[int]],
+    r: int,
+    *,
+    op: str = "put_aside",
+) -> dict[int, list[int]]:
+    """Compute ``P_K`` for every cabal at once.
+
+    Parameters
+    ----------
+    eligible:
+        ``cabal_index -> uncolored inliers`` to draw from.
+    r:
+        Target size (the cabal-uniform ``r = 250 ℓ`` of Section 4.3,
+        scaled preset's multiplier otherwise).
+
+    Raises
+    ------
+    StageFailure
+        If some cabal cannot field ``r`` conflict-free candidates (caller
+        retries, then falls back for that cabal).
+    """
+    graph = runtime.graph
+    candidates: dict[int, list[int]] = {}
+    owner: dict[int, int] = {}
+    for idx, pool_all in eligible.items():
+        pool = [v for v in pool_all if not coloring.is_colored(v)]
+        want = min(len(pool), 3 * r)
+        picks = runtime.rng.permutation(len(pool))[:want]
+        chosen = [pool[int(i)] for i in picks]
+        candidates[idx] = chosen
+        for v in chosen:
+            owner[v] = idx
+    runtime.h_rounds(op + "_sample", count=2)
+
+    result: dict[int, list[int]] = {}
+    for idx, chosen in candidates.items():
+        survivors: list[int] = []
+        for v in chosen:
+            clash = False
+            for u in graph.neighbors(v):
+                if owner.get(u, idx) != idx:
+                    clash = True
+                    break
+            if not clash:
+                survivors.append(v)
+        if len(survivors) < r:
+            raise StageFailure(
+                op,
+                f"cabal {idx} fielded only {len(survivors)} of {r} put-aside "
+                f"candidates",
+                affected=eligible[idx],
+            )
+        result[idx] = survivors[:r]
+    runtime.h_rounds(op + "_filter", count=2)
+    return result

@@ -1,0 +1,80 @@
+"""Execution statistics of a coloring run.
+
+The theorems bound rounds; the experiments need those counts broken down by
+stage, along with every fallback taken, so a run that silently degraded is
+visible in benchmark output (DESIGN.md 3.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.ledger import BandwidthLedger, LedgerSnapshot
+
+
+@dataclass
+class ColoringStats:
+    """Round/bit counters per stage plus degradation bookkeeping."""
+
+    stage_rounds: dict[str, int] = field(default_factory=dict)
+    fallbacks: Counter = field(default_factory=Counter)
+    retries: Counter = field(default_factory=Counter)
+    regime: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def record_stage(
+        self, name: str, before: LedgerSnapshot, ledger: BandwidthLedger
+    ) -> None:
+        """Attribute the rounds accumulated since ``before`` to ``name``."""
+        diff = before.diff(ledger.snapshot())
+        self.stage_rounds[name] = self.stage_rounds.get(name, 0) + diff.rounds_h
+
+    def record_fallback(self, stage: str, count: int = 1) -> None:
+        """A stage degraded to the fallback path ``count`` times."""
+        self.fallbacks[stage] += count
+
+    def record_retry(self, stage: str) -> None:
+        """A stage retried after missing its postcondition."""
+        self.retries[stage] += 1
+
+    @property
+    def total_rounds(self) -> int:
+        """Sum of per-stage H-rounds."""
+        return sum(self.stage_rounds.values())
+
+    def summary(self) -> dict:
+        """Plain-dict view for experiment records."""
+        return {
+            "stage_rounds": dict(self.stage_rounds),
+            "total_rounds": self.total_rounds,
+            "fallbacks": dict(self.fallbacks),
+            "retries": dict(self.retries),
+            "regime": self.regime,
+        }
+
+
+@dataclass
+class ColoringResult:
+    """The output of the end-to-end pipeline."""
+
+    colors: np.ndarray
+    num_colors: int
+    stats: ColoringStats
+    ledger_summary: dict
+    proper: bool
+    seed: int
+    params_name: str
+
+    @property
+    def rounds_h(self) -> int:
+        """Headline round count (broadcast-and-aggregate units; the number
+        Theorems 1.1/1.2 bound up to the hidden dilation factor)."""
+        return int(self.ledger_summary.get("rounds_h", 0))
+
+    @property
+    def rounds_g(self) -> int:
+        """Underlying network rounds (includes the dilation factor)."""
+        return int(self.ledger_summary.get("rounds_g", 0))

@@ -1,0 +1,26 @@
+"""Almost-clique decomposition machinery (Sections 4.1 and 5.4)."""
+
+from repro.decomposition.sparsity import (
+    all_sparsities,
+    exact_acd_reference,
+    friendly_edges,
+    is_valid_almost_clique,
+    sparsity,
+)
+from repro.decomposition.buddy import BuddyResult, buddy_predicate
+from repro.decomposition.acd import AlmostCliqueDecomposition, compute_acd
+from repro.decomposition.cabals import annotate_with_cabals, anti_degree_proxy
+
+__all__ = [
+    "all_sparsities",
+    "exact_acd_reference",
+    "friendly_edges",
+    "is_valid_almost_clique",
+    "sparsity",
+    "BuddyResult",
+    "buddy_predicate",
+    "AlmostCliqueDecomposition",
+    "compute_acd",
+    "annotate_with_cabals",
+    "anti_degree_proxy",
+]

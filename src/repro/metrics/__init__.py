@@ -1,0 +1,5 @@
+"""Experiment result records and table rendering."""
+
+from repro.metrics.records import ExperimentRecord, format_table
+
+__all__ = ["ExperimentRecord", "format_table"]

@@ -1,0 +1,62 @@
+"""Experiment records and table formatting shared by the benchmarks.
+
+Every benchmark produces an :class:`ExperimentRecord` -- the paper-claimed
+quantity next to the measured one -- and prints it with
+:func:`format_table`, so ``pytest benchmarks/ --benchmark-only`` output
+doubles as the EXPERIMENTS.md source material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's outcome."""
+
+    experiment: str
+    claim: str
+    params_preset: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **kwargs: Any) -> None:
+        """Append one measurement row."""
+        self.rows.append(kwargs)
+
+    def to_text(self) -> str:
+        """Render as the table the benchmark prints."""
+        lines = [f"== {self.experiment} ==", f"claim: {self.claim}",
+                 f"preset: {self.params_preset}"]
+        if self.rows:
+            lines.append(format_table(self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def format_table(rows: list[dict[str, Any]]) -> str:
+    """Fixed-width text table from a list of homogeneous dicts."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    rendered = [
+        {h: _fmt(row.get(h)) for h in headers} for row in rows
+    ]
+    widths = {
+        h: max(len(h), max(len(r[h]) for r in rendered)) for h in headers
+    }
+    head = "  ".join(h.ljust(widths[h]) for h in headers)
+    sep = "  ".join("-" * widths[h] for h in headers)
+    body = [
+        "  ".join(r[h].ljust(widths[h]) for h in headers) for r in rendered
+    ]
+    return "\n".join([head, sep, *body])
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

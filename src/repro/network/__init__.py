@@ -1,0 +1,14 @@
+"""Communication-network substrate: graphs, accounting, faithful simulation."""
+
+from repro.network.commgraph import CommGraph
+from repro.network.ledger import BandwidthLedger, LedgerSnapshot, ModelViolation
+from repro.network.machine_sim import MachineSimulator, Message
+
+__all__ = [
+    "CommGraph",
+    "BandwidthLedger",
+    "LedgerSnapshot",
+    "ModelViolation",
+    "MachineSimulator",
+    "Message",
+]

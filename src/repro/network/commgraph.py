@@ -1,0 +1,117 @@
+"""The communication network ``G = (V_G, E_G)`` of Section 3.2.
+
+Machines are integers ``0..n-1``; links are undirected pairs.  ``CommGraph``
+is deliberately minimal and immutable-after-construction: algorithms never
+mutate the network, they only send messages over it (accounted for by
+:mod:`repro.network.ledger`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import networkx as nx
+
+
+class CommGraph:
+    """An undirected communication network of ``n`` machines.
+
+    Parameters
+    ----------
+    n:
+        Number of machines.
+    edges:
+        Iterable of ``(u, v)`` links.  Self-loops are rejected; duplicate
+        links are collapsed.
+    """
+
+    __slots__ = ("n", "_adj", "_m")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]]):
+        if n <= 0:
+            raise ValueError(f"need at least one machine, got n={n}")
+        self.n = n
+        adj: list[set[int]] = [set() for _ in range(n)]
+        m = 0
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop on machine {u}")
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"link ({u},{v}) out of range for n={n}")
+            if v not in adj[u]:
+                adj[u].add(v)
+                adj[v].add(u)
+                m += 1
+        self._adj = [sorted(s) for s in adj]
+        self._m = m
+
+    # ---- basic accessors ---------------------------------------------------
+
+    @property
+    def num_links(self) -> int:
+        """Number of undirected links."""
+        return self._m
+
+    def neighbors(self, machine: int) -> Sequence[int]:
+        """Machines adjacent to ``machine`` (sorted)."""
+        return self._adj[machine]
+
+    def degree(self, machine: int) -> int:
+        """Number of links incident to ``machine``."""
+        return len(self._adj[machine])
+
+    def has_link(self, u: int, v: int) -> bool:
+        """Whether machines ``u`` and ``v`` share a link."""
+        a, b = self._adj[u], self._adj[v]
+        # binary search the shorter list
+        src, tgt = (a, v) if len(a) <= len(b) else (b, u)
+        lo, hi = 0, len(src)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if src[mid] < tgt:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(src) and src[lo] == tgt
+
+    def iter_links(self) -> Iterator[tuple[int, int]]:
+        """All links, each once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    # ---- interop ------------------------------------------------------------
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph) -> "CommGraph":
+        """Build from a networkx graph with integer-relabelable nodes."""
+        relabeled = nx.convert_node_labels_to_integers(graph)
+        return cls(relabeled.number_of_nodes(), relabeled.edges())
+
+    def to_networkx(self) -> nx.Graph:
+        """Export to networkx (used by reference checks and generators)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n))
+        graph.add_edges_from(self.iter_links())
+        return graph
+
+    def is_connected_subset(self, machines: Sequence[int]) -> bool:
+        """Whether ``G[machines]`` is connected (BFS restricted to the set)."""
+        if not machines:
+            return False
+        member = set(machines)
+        seen = {machines[0]}
+        frontier = [machines[0]]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in self._adj[u]:
+                    if v in member and v not in seen:
+                        seen.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        return len(seen) == len(member)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CommGraph(n={self.n}, links={self._m})"

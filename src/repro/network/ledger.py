@@ -1,0 +1,175 @@
+"""Round and bandwidth accounting for the cluster-graph model.
+
+The model (Section 3.2): links carry ``O(log n)`` bits per synchronous round.
+One round *on H* consists of a broadcast in each support tree, computation on
+inter-cluster links, and a convergecast -- costing ``O(d)`` rounds on ``G``
+where ``d`` is the dilation (maximum support-tree diameter).  The paper hides
+the multiplicative ``d`` inside big-Oh; we track both:
+
+* ``rounds_h`` -- rounds counted in broadcast-and-aggregate units, the number
+  the theorems bound (``O(log* n)`` etc.);
+* ``rounds_g`` -- underlying network rounds, showing the ``d`` dependency
+  (Experiment E12).
+
+A message wider than the bandwidth cap is either a hard
+:class:`ModelViolation` (``strict=True``) or is *pipelined*: it is split into
+cap-sized pieces, costing extra ``G``-rounds, which is exactly how the
+paper's proofs account for long messages (e.g. Lemma 5.7's ``O(xi^-2)``
+aggregation).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+class ModelViolation(RuntimeError):
+    """Raised when an operation breaks the communication model."""
+
+
+@dataclass
+class LedgerSnapshot:
+    """Immutable view of ledger counters, for before/after diffs."""
+
+    rounds_h: int
+    rounds_g: int
+    total_message_bits: int
+    max_message_bits: int
+    num_operations: int
+
+    def diff(self, later: "LedgerSnapshot") -> "LedgerSnapshot":
+        """Counters accumulated between ``self`` and ``later``."""
+        return LedgerSnapshot(
+            rounds_h=later.rounds_h - self.rounds_h,
+            rounds_g=later.rounds_g - self.rounds_g,
+            total_message_bits=later.total_message_bits - self.total_message_bits,
+            max_message_bits=max(later.max_message_bits, self.max_message_bits),
+            num_operations=later.num_operations - self.num_operations,
+        )
+
+
+@dataclass
+class BandwidthLedger:
+    """Accumulates the communication cost of a distributed execution.
+
+    Parameters
+    ----------
+    bandwidth_bits:
+        Per-link per-round capacity, typically ``Theta(log n)``.
+    dilation:
+        Default support-tree diameter ``d`` used to convert H-rounds into
+        G-rounds when an operation does not override it.
+    strict:
+        If True, an unpipelined message wider than ``bandwidth_bits`` raises
+        :class:`ModelViolation` instead of being silently split.
+    """
+
+    bandwidth_bits: int
+    dilation: int = 1
+    strict: bool = True
+    rounds_h: int = 0
+    rounds_g: int = 0
+    total_message_bits: int = 0
+    max_message_bits: int = 0
+    num_operations: int = 0
+    per_op_rounds: Counter = field(default_factory=Counter)
+    per_op_bits: Counter = field(default_factory=Counter)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bits <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.dilation <= 0:
+            raise ValueError("dilation must be positive")
+
+    # ---- charging -----------------------------------------------------------
+
+    def charge(
+        self,
+        op: str,
+        message_bits: int,
+        *,
+        rounds_h: int = 1,
+        depth: int | None = None,
+        pipelined: bool = False,
+    ) -> int:
+        """Charge one cluster-level operation.
+
+        Parameters
+        ----------
+        op:
+            Operation label (for per-op breakdowns).
+        message_bits:
+            Width of the widest message this operation puts on any link.
+        rounds_h:
+            Number of broadcast-and-aggregate units consumed.
+        depth:
+            Tree depth for this op; defaults to the ledger's dilation.
+        pipelined:
+            Whether long messages are split into cap-sized pieces over extra
+            rounds instead of violating the model.
+
+        Returns
+        -------
+        int
+            The number of H-rounds actually charged (after pipelining).
+        """
+        if message_bits < 0 or rounds_h < 0:
+            raise ValueError("negative cost")
+        pieces = max(1, math.ceil(message_bits / self.bandwidth_bits))
+        if pieces > 1 and not pipelined:
+            if self.strict:
+                raise ModelViolation(
+                    f"operation {op!r} sends {message_bits} bits on one link in "
+                    f"one round; cap is {self.bandwidth_bits}. Declare "
+                    f"pipelined=True or shrink the message."
+                )
+            pipelined = True
+        effective_rounds_h = rounds_h * (pieces if pipelined else 1)
+        d = self.dilation if depth is None else max(1, depth)
+        self.rounds_h += effective_rounds_h
+        self.rounds_g += effective_rounds_h * d
+        self.total_message_bits += message_bits * max(1, rounds_h)
+        self.max_message_bits = max(
+            self.max_message_bits, min(message_bits, self.bandwidth_bits)
+        )
+        self.num_operations += 1
+        self.per_op_rounds[op] += effective_rounds_h
+        self.per_op_bits[op] += message_bits
+        return effective_rounds_h
+
+    def charge_local(self, op: str) -> None:
+        """Record a zero-round bookkeeping operation (local computation)."""
+        self.num_operations += 1
+        self.per_op_rounds[op] += 0
+
+    # ---- inspection ----------------------------------------------------------
+
+    def snapshot(self) -> LedgerSnapshot:
+        """Current counters as an immutable snapshot."""
+        return LedgerSnapshot(
+            rounds_h=self.rounds_h,
+            rounds_g=self.rounds_g,
+            total_message_bits=self.total_message_bits,
+            max_message_bits=self.max_message_bits,
+            num_operations=self.num_operations,
+        )
+
+    def assert_compliant(self) -> None:
+        """Verify no recorded message exceeded the cap (Experiment E11)."""
+        if self.max_message_bits > self.bandwidth_bits:
+            raise ModelViolation(
+                f"recorded a {self.max_message_bits}-bit message; "
+                f"cap is {self.bandwidth_bits}"
+            )
+
+    def summary(self) -> dict[str, int]:
+        """Headline counters as a plain dict (for experiment records)."""
+        return {
+            "rounds_h": self.rounds_h,
+            "rounds_g": self.rounds_g,
+            "total_message_bits": self.total_message_bits,
+            "max_message_bits": self.max_message_bits,
+            "num_operations": self.num_operations,
+        }

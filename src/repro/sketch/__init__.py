@@ -1,0 +1,67 @@
+"""Fingerprinting and pseudo-random tools (Section 5, Appendix C)."""
+
+from repro.sketch.geometric import (
+    DEFAULT_LAMBDA,
+    EMPTY_MAX,
+    argmax_with_uniqueness,
+    merge_maxima,
+    non_unique_max_bound,
+    prob_max_below,
+    sample_geometric,
+    sample_max_of_geometrics,
+)
+from repro.sketch.fingerprint import (
+    Fingerprint,
+    FingerprintTable,
+    batch_estimate,
+    direct_count_fingerprint,
+    estimate_cardinality,
+    failure_probability_bound,
+    neighborhood_maxima,
+    trials_for,
+)
+from repro.sketch.encoding import (
+    best_baseline,
+    decode_maxima,
+    encode_maxima,
+    encoded_size_bits,
+)
+from repro.sketch.counting import (
+    approximate_counts_direct,
+    approximate_counts_shared,
+    approximate_degrees,
+    neighborhood_fingerprints,
+)
+from repro.sketch.minwise import MinwiseHash, sample_minwise
+from repro.sketch.representative import RepresentativeFamily, RepresentativeSet
+
+__all__ = [
+    "DEFAULT_LAMBDA",
+    "EMPTY_MAX",
+    "argmax_with_uniqueness",
+    "merge_maxima",
+    "non_unique_max_bound",
+    "prob_max_below",
+    "sample_geometric",
+    "sample_max_of_geometrics",
+    "Fingerprint",
+    "FingerprintTable",
+    "batch_estimate",
+    "direct_count_fingerprint",
+    "neighborhood_maxima",
+    "estimate_cardinality",
+    "failure_probability_bound",
+    "trials_for",
+    "best_baseline",
+    "decode_maxima",
+    "encode_maxima",
+    "encoded_size_bits",
+    "approximate_counts_direct",
+    "approximate_counts_shared",
+    "approximate_degrees",
+    "neighborhood_fingerprints",
+    "MinwiseHash",
+    "sample_minwise",
+    "RepresentativeFamily",
+    "RepresentativeSet",
+]

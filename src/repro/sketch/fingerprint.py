@@ -1,0 +1,217 @@
+"""Fingerprints: vectors of maxima with the Lemma 5.2 cardinality estimator.
+
+A *fingerprint* of a set ``S`` is the vector ``(Y_1, ..., Y_t)`` where
+``Y_i = max_{u in S} X_{u,i}`` over i.i.d. geometric variables.  Because the
+aggregation operator is max, fingerprints are immune to redundant paths --
+the property that makes them computable on cluster graphs where plain sums
+double-count (Section 1.1).
+
+``estimate_cardinality`` implements the estimator of Lemma 5.2 verbatim:
+
+    Z_k  = |{i : Y_i < k}|
+    K*   = min{k : Z_k >= (27/40) t}
+    d_hat = ln(Z_{K*} / t) / ln(1 - 2^{-K*})
+
+with the guarantee ``|d - d_hat| <= xi d`` w.p. ``>= 1 - 6 exp(-xi^2 t/200)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sketch.encoding import encoded_size_bits
+from repro.sketch.geometric import (
+    DEFAULT_LAMBDA,
+    EMPTY_MAX,
+    merge_maxima,
+    sample_geometric,
+    sample_max_of_geometrics,
+)
+
+_THRESHOLD_NUM = 27
+_THRESHOLD_DEN = 40
+
+
+def estimate_cardinality(maxima: np.ndarray) -> float:
+    """Estimate ``d`` from ``t`` maxima of ``d`` geometric(1/2) variables.
+
+    Implements Lemma 5.2's ``d_hat``.  Degenerate inputs are handled the way
+    a distributed implementation would: an all-``EMPTY_MAX`` fingerprint
+    means the set was empty (return 0); at the boundary ``Z = t`` we clamp to
+    ``t - 1/2`` (the lemma's regime guarantees ``Z_{K*} < t`` w.h.p., so the
+    clamp only fires outside its guarantee).
+    """
+    t = int(maxima.size)
+    if t == 0:
+        raise ValueError("empty fingerprint has no estimate")
+    if np.all(maxima == EMPTY_MAX):
+        return 0.0
+    threshold = (_THRESHOLD_NUM / _THRESHOLD_DEN) * t
+    sorted_maxima = np.sort(maxima)
+    # Z_k counts maxima strictly below k; K* is the smallest k whose count
+    # reaches the 27/40 threshold.  The candidate k values are (max value)+1.
+    k_star = None
+    z_kstar = None
+    for k in range(0, int(sorted_maxima[-1]) + 2):
+        z = int(np.searchsorted(sorted_maxima, k, side="left"))
+        if z >= threshold:
+            k_star = k
+            z_kstar = z
+            break
+    if k_star is None:  # unreachable: k = max+1 has Z = t
+        raise AssertionError("threshold never reached")
+    z_eff = min(float(z_kstar), t - 0.5)
+    z_eff = max(z_eff, 0.5)
+    return math.log(z_eff / t) / math.log(1.0 - 2.0 ** (-k_star))
+
+
+def batch_estimate(maxima: np.ndarray) -> np.ndarray:
+    """Vectorized Lemma 5.2 estimator over a ``(rows, t)`` matrix of maxima.
+
+    Identical to :func:`estimate_cardinality` per row (shared logic: with
+    ``q = ceil((27/40) t)``, the threshold ``K*`` equals the ``q``-th order
+    statistic plus one, since ``Z_k >= q  iff  k > Y_(q)``).  Rows that are
+    entirely ``EMPTY_MAX`` estimate 0.
+    """
+    if maxima.ndim != 2:
+        raise ValueError("expected a (rows, trials) matrix")
+    rows, t = maxima.shape
+    if t == 0:
+        raise ValueError("empty fingerprints have no estimate")
+    q = int(math.ceil((_THRESHOLD_NUM / _THRESHOLD_DEN) * t))
+    q = min(max(q, 1), t)
+    # stay in the input dtype: casting an (edges x trials) matrix to int64
+    # would multiply peak memory by 4 for nothing (values fit in int16)
+    empty_rows = np.all(maxima == EMPTY_MAX, axis=1)
+    part = np.partition(maxima, q - 1, axis=1)
+    k_star = part[:, q - 1].astype(np.int64) + 1  # min k with Z_k >= (27/40) t
+    z = (maxima < k_star[:, None]).sum(axis=1).astype(np.float64)
+    z = np.clip(z, 0.5, t - 0.5)
+    k_star = np.maximum(k_star, 1)
+    estimates = np.log(z / t) / np.log1p(-np.exp2(-k_star.astype(np.float64)))
+    estimates[empty_rows] = 0.0
+    return estimates
+
+
+def failure_probability_bound(xi: float, t: int) -> float:
+    """Lemma 5.2's failure bound ``6 exp(-xi^2 t / 200)``."""
+    return 6.0 * math.exp(-(xi * xi) * t / 200.0)
+
+
+def trials_for(xi: float, failure: float) -> int:
+    """Trials needed so the Lemma 5.2 bound is at most ``failure``."""
+    return max(1, int(math.ceil(200.0 / (xi * xi) * math.log(6.0 / failure))))
+
+
+@dataclass
+class Fingerprint:
+    """One aggregatable fingerprint (the ``(Y_i)`` vector).
+
+    ``merge`` is coordinate-wise max -- idempotent, commutative, associative,
+    with the all-``EMPTY_MAX`` fingerprint as identity.
+    """
+
+    maxima: np.ndarray
+
+    @classmethod
+    def empty(cls, trials: int) -> "Fingerprint":
+        """The merge identity (fingerprint of the empty set)."""
+        return cls(np.full(trials, EMPTY_MAX, dtype=np.int64))
+
+    def merge(self, other: "Fingerprint") -> "Fingerprint":
+        """Aggregate with another fingerprint (max per coordinate)."""
+        return Fingerprint(merge_maxima(self.maxima, other.maxima))
+
+    def estimate(self) -> float:
+        """Cardinality estimate (Lemma 5.2)."""
+        return estimate_cardinality(self.maxima)
+
+    def encoded_bits(self) -> int:
+        """Message width under the Lemma 5.6 encoding."""
+        return encoded_size_bits(np.maximum(self.maxima, 0))
+
+    @property
+    def trials(self) -> int:
+        """Number of parallel trials ``t``."""
+        return int(self.maxima.size)
+
+
+class FingerprintTable:
+    """Shared per-vertex geometric variables ``X_{v,i}`` for a vertex set.
+
+    Used when *correlations* matter: the union fingerprint of
+    ``N(u) ∪ N(v)`` (Lemma 5.8's buddy predicate) must reuse the same
+    underlying variables, so vertices draw their ``X`` rows once and
+    neighborhood fingerprints are maxima over rows.
+
+    ``rows`` is an ``(n_vertices, trials)`` int16 matrix; geometric(1/2)
+    values exceed 32767 with probability ``< 2^-32767`` -- irrelevant.
+    """
+
+    def __init__(
+        self,
+        n_vertices: int,
+        trials: int,
+        rng: np.random.Generator,
+        lam: float = DEFAULT_LAMBDA,
+    ):
+        self.trials = trials
+        self.lam = lam
+        self.rows = sample_geometric(rng, (n_vertices, trials), lam).astype(np.int16)
+
+    def vertex_fingerprint(self, v: int) -> Fingerprint:
+        """Fingerprint of the singleton ``{v}`` (its own variables)."""
+        return Fingerprint(self.rows[v].astype(np.int64))
+
+    def set_fingerprint(self, vertices) -> Fingerprint:
+        """Fingerprint of an arbitrary vertex set (max over their rows)."""
+        idx = np.fromiter(vertices, dtype=np.int64)
+        if idx.size == 0:
+            return Fingerprint.empty(self.trials)
+        return Fingerprint(self.rows[idx].max(axis=0).astype(np.int64))
+
+    def argmax_per_trial(self, vertices) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """For each trial: the max value, the first vertex attaining it, and
+        whether it is attained uniquely.  Drives Algorithm 7 (Step 4).
+        """
+        idx = np.fromiter(vertices, dtype=np.int64)
+        if idx.size == 0:
+            empty = np.full(self.trials, EMPTY_MAX, dtype=np.int64)
+            return empty, np.full(self.trials, -1, dtype=np.int64), np.zeros(
+                self.trials, dtype=bool
+            )
+        block = self.rows[idx].astype(np.int64)  # (|S|, t)
+        values = block.max(axis=0)
+        attained = block == values[None, :]
+        counts = attained.sum(axis=0)
+        first_pos = attained.argmax(axis=0)
+        argmax_vertices = idx[first_pos]
+        return values, argmax_vertices, counts == 1
+
+
+def neighborhood_maxima(
+    rows: np.ndarray, edges_src: np.ndarray, edges_dst: np.ndarray, n_vertices: int
+) -> np.ndarray:
+    """All neighborhood fingerprints at once.
+
+    ``rows`` is the ``(n, t)`` per-vertex variable matrix; ``edges_src/dst``
+    list every directed edge.  Returns ``Y`` with
+    ``Y[v] = max over u in N(v) of rows[u]`` (``EMPTY_MAX`` where ``N(v)`` is
+    empty) -- one scatter-max pass instead of a per-vertex loop.
+    """
+    t = rows.shape[1]
+    out = np.full((n_vertices, t), EMPTY_MAX, dtype=rows.dtype)
+    np.maximum.at(out, edges_dst, rows[edges_src])
+    return out
+
+
+def direct_count_fingerprint(
+    rng: np.random.Generator, d: int, trials: int, lam: float = DEFAULT_LAMBDA
+) -> Fingerprint:
+    """Fast-path fingerprint of an anonymous ``d``-element set, sampled
+    straight from the max distribution (identical in law; ``O(trials)``).
+    """
+    return Fingerprint(sample_max_of_geometrics(rng, d, trials, lam))

@@ -1,0 +1,109 @@
+"""Geometric random variables and their maxima (Section 5.1).
+
+A geometric variable of parameter ``lam`` takes value ``k >= 0`` with
+probability ``lam^k - lam^(k+1)`` (failures before the first success).  The
+paper's fingerprints are coordinate-wise maxima of such variables; three
+facts drive everything:
+
+* Claim 5.1: ``P(max of d < k) = (1 - lam^k)^d`` -- so the maximum encodes
+  ``log_{1/lam} d`` and can be *estimated* (Lemma 5.2);
+* Lemma 5.3: the maximum is unique with probability ``>= (1-lam)/(1+lam)``
+  (``2/3`` at ``lam = 1/2``) regardless of ``d``;
+* Lemma 5.4: conditioned on uniqueness, the argmax is uniform.
+
+Both sampling paths are provided: per-element variables (needed when the
+*identity* of the argmax matters, e.g. Algorithm 7) and direct sampling of
+the maximum from its CDF (statistically identical, ``O(1)`` per trial,
+used for pure counting).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+DEFAULT_LAMBDA = 0.5
+
+#: Sentinel for the maximum over an empty set (merge identity).
+EMPTY_MAX = -1
+
+
+def sample_geometric(
+    rng: np.random.Generator, size: int | tuple[int, ...], lam: float = DEFAULT_LAMBDA
+) -> np.ndarray:
+    """Sample geometric(``lam``) variables on support ``{0, 1, 2, ...}``.
+
+    numpy's ``geometric(p)`` counts trials to first success on ``{1, 2, ...}``
+    with success probability ``p``; the paper's parameterization has failure
+    probability ``lam``, hence ``p = 1 - lam`` and a shift by one.
+    """
+    if not 0.0 < lam < 1.0:
+        raise ValueError("lam must be in (0, 1)")
+    return rng.geometric(1.0 - lam, size=size).astype(np.int64) - 1
+
+
+def sample_max_of_geometrics(
+    rng: np.random.Generator,
+    d: int,
+    trials: int,
+    lam: float = DEFAULT_LAMBDA,
+) -> np.ndarray:
+    """Directly sample ``trials`` i.i.d. copies of ``max of d`` geometrics.
+
+    Inverts the CDF ``F(k) = (1 - lam^(k+1))^d`` (Claim 5.1): with
+    ``U ~ Uniform(0,1)``, ``Y = ceil(log_lam(1 - U^(1/d))) - 1`` clamped to
+    ``>= 0``.  Exact in distribution, ``O(trials)`` work independent of
+    ``d`` -- the fast path for counting-only fingerprints.
+    """
+    if d < 0:
+        raise ValueError("d must be non-negative")
+    if d == 0:
+        return np.full(trials, EMPTY_MAX, dtype=np.int64)
+    u = rng.random(trials)
+    # 1 - u^(1/d) in a numerically careful way: use expm1/log1p
+    log_u = np.log(np.clip(u, 1e-300, 1.0))
+    tail = -np.expm1(log_u / d)  # 1 - u^(1/d), stays accurate for huge d
+    tail = np.clip(tail, 1e-300, 1.0)
+    y = np.ceil(np.log(tail) / math.log(lam)).astype(np.int64) - 1
+    return np.maximum(y, 0)
+
+
+def prob_max_below(k: int, d: int, lam: float = DEFAULT_LAMBDA) -> float:
+    """``P(max of d geometrics < k) = (1 - lam^k)^d`` (Claim 5.1)."""
+    if d == 0:
+        return 1.0
+    if k <= 0:
+        return 0.0
+    return (1.0 - lam**k) ** d
+
+
+def non_unique_max_bound(lam: float = DEFAULT_LAMBDA) -> float:
+    """Lemma 5.3's bound on ``P(maximum is not unique)``:
+    ``(1-lam)^2 / (1-lam^2) = (1-lam)/(1+lam)``, i.e. ``1/3`` at
+    ``lam = 1/2`` -- independent of ``d``.
+    """
+    return (1.0 - lam) / (1.0 + lam)
+
+
+def argmax_with_uniqueness(values: np.ndarray) -> tuple[int, bool]:
+    """Index of the maximum and whether it is unique.
+
+    Operates on one trial's per-element variables; ``EMPTY_MAX`` entries are
+    ignored (they encode "not participating").
+    """
+    if values.size == 0:
+        return (-1, False)
+    best = int(values.max())
+    if best == EMPTY_MAX:
+        return (-1, False)
+    where = np.flatnonzero(values == best)
+    return (int(where[0]), len(where) == 1)
+
+
+def merge_maxima(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Coordinate-wise maximum -- the aggregation operator.  Safe on
+    redundant paths: ``merge(x, x) = x``, which is exactly why fingerprints
+    survive the double-counting hazard of Section 1.1.
+    """
+    return np.maximum(a, b)

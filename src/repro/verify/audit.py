@@ -1,0 +1,74 @@
+"""One-call audit of a pipeline run: properness + budget + model compliance.
+
+Benchmarks and downstream users get a single verdict object instead of
+re-assembling the checks by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.verify.checker import violations
+
+
+@dataclass
+class AuditReport:
+    """The outcome of :func:`audit_run`."""
+
+    proper: bool
+    total: bool
+    within_budget: bool
+    bandwidth_compliant: bool
+    monochromatic_edges: int
+    uncolored_vertices: int
+    fallback_vertices: int
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Everything a correct run must satisfy."""
+        return (
+            self.proper
+            and self.total
+            and self.within_budget
+            and self.bandwidth_compliant
+        )
+
+
+def audit_run(graph, result, *, bandwidth_cap: int | None = None) -> AuditReport:
+    """Audit a :class:`~repro.coloring.stats.ColoringResult` against the
+    graph it colored.
+
+    ``bandwidth_cap`` defaults to the cap recorded in the result's ledger
+    summary context (pass explicitly to audit against a different model).
+    """
+    colors = result.colors
+    problems: list[str] = []
+
+    bad_edges = violations(graph, colors)
+    if bad_edges:
+        problems.append(f"{len(bad_edges)} monochromatic edges, e.g. {bad_edges[:3]}")
+    uncolored = int((colors < 0).sum())
+    if uncolored:
+        problems.append(f"{uncolored} uncolored vertices")
+    over_budget = int((colors >= result.num_colors).sum())
+    if over_budget:
+        problems.append(f"{over_budget} vertices beyond the {result.num_colors}-color budget")
+
+    widest = int(result.ledger_summary.get("max_message_bits", 0))
+    cap = bandwidth_cap
+    compliant = True
+    if cap is not None and widest > cap:
+        compliant = False
+        problems.append(f"widest message {widest} bits exceeds cap {cap}")
+
+    return AuditReport(
+        proper=not bad_edges,
+        total=uncolored == 0,
+        within_budget=over_budget == 0,
+        bandwidth_compliant=compliant,
+        monochromatic_edges=len(bad_edges),
+        uncolored_vertices=uncolored,
+        fallback_vertices=sum(result.stats.fallbacks.values()),
+        problems=problems,
+    )

@@ -1,0 +1,115 @@
+"""Validation layer: proper colorings, decompositions, matchings, model
+compliance.
+
+Everything here is *centralized* ground-truth checking, used by tests and
+at the end of pipeline runs; none of it is available to the distributed
+algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Kept in sync with repro.coloring.types.UNCOLORED; duplicated here (it is a
+# one-line protocol constant) to keep the verification layer import-light and
+# free of cycles with the coloring package.
+UNCOLORED = -1
+
+
+def is_proper(graph, colors: np.ndarray, *, allow_partial: bool = False) -> bool:
+    """Whether ``colors`` is a proper (partial) coloring of the conflict
+    graph: endpoints of every edge differ (``⊥`` clashes with nothing)."""
+    for u, v in graph.iter_h_edges():
+        cu, cv = int(colors[u]), int(colors[v])
+        if cu == UNCOLORED or cv == UNCOLORED:
+            if not allow_partial:
+                return False
+            continue
+        if cu == cv:
+            return False
+    return True
+
+
+def violations(graph, colors: np.ndarray) -> list[tuple[int, int]]:
+    """All monochromatic edges (diagnostics for failed runs)."""
+    bad = []
+    for u, v in graph.iter_h_edges():
+        cu, cv = int(colors[u]), int(colors[v])
+        if cu != UNCOLORED and cu == cv:
+            bad.append((u, v))
+    return bad
+
+
+def check_delta_plus_one(graph, coloring) -> None:
+    """Assert a total, proper (Δ+1)-coloring; raises AssertionError with a
+    diagnosis otherwise."""
+    assert coloring.num_colors == graph.max_degree + 1, (
+        f"palette has {coloring.num_colors} colors; Δ+1 = {graph.max_degree + 1}"
+    )
+    uncolored = coloring.uncolored_vertices()
+    assert not uncolored, f"{len(uncolored)} vertices uncolored, e.g. {uncolored[:5]}"
+    bad = violations(graph, coloring.colors)
+    assert not bad, f"{len(bad)} monochromatic edges, e.g. {bad[:5]}"
+
+
+def check_acd(graph, acd, eps: float) -> list[str]:
+    """Validate Definition 4.2 on a decomposition; returns a list of
+    human-readable problems (empty = valid)."""
+    problems: list[str] = []
+    delta = graph.max_degree
+    seen: set[int] = set()
+    for i, members in enumerate(acd.cliques):
+        mset = set(members)
+        if seen & mset:
+            problems.append(f"clique {i} overlaps another clique")
+        seen |= mset
+        if len(members) > (1 + eps) * delta:
+            problems.append(f"clique {i} has {len(members)} > (1+eps)Δ members")
+        for v in members:
+            inside = len(graph.neighbor_set(v) & mset)
+            if inside < (1 - eps) * len(members):
+                problems.append(
+                    f"vertex {v} in clique {i}: {inside} internal neighbors "
+                    f"< (1-eps)|K| = {(1 - eps) * len(members):.1f}"
+                )
+                break
+    overlap = seen & set(acd.sparse)
+    if overlap:
+        problems.append(f"{len(overlap)} vertices both sparse and dense")
+    if len(seen) + len(acd.sparse) != graph.n_vertices:
+        problems.append("decomposition does not cover V")
+    return problems
+
+
+def check_colorful_matching(
+    graph, coloring, members: list[int]
+) -> int:
+    """Validate reuse inside one clique: every used color is proper, and the
+    returned value is ``M_K = |K ∩ dom φ| - |φ(K)|`` (reuse count)."""
+    colored = [v for v in members if coloring.is_colored(v)]
+    by_color: dict[int, list[int]] = {}
+    for v in colored:
+        by_color.setdefault(coloring.get(v), []).append(v)
+    for c, vs in by_color.items():
+        for i in range(len(vs)):
+            for j in range(i + 1, len(vs)):
+                assert not graph.are_adjacent(vs[i], vs[j]), (
+                    f"adjacent vertices {vs[i]},{vs[j]} share color {c}"
+                )
+    return len(colored) - len(by_color)
+
+
+def check_put_aside(graph, put_aside: dict[int, list[int]], r: int) -> list[str]:
+    """Validate Lemma 4.18's properties 1-2 on computed put-aside sets."""
+    problems: list[str] = []
+    owner: dict[int, int] = {}
+    for idx, vs in put_aside.items():
+        if len(vs) != r:
+            problems.append(f"cabal {idx}: |P_K| = {len(vs)} != r = {r}")
+        for v in vs:
+            owner[v] = idx
+    for v, idx in owner.items():
+        for u in graph.neighbors(v):
+            if u in owner and owner[u] != idx:
+                problems.append(f"edge between put-aside sets: {v} ({idx}) - {u} ({owner[u]})")
+    return problems

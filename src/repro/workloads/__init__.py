@@ -1,0 +1,27 @@
+"""Instance generators with planted ground truth (see DESIGN.md Section 2)."""
+
+from repro.workloads.generators import (
+    Workload,
+    bridge_pathology,
+    cabal_instance,
+    congest_instance,
+    contraction_instance,
+    figure1_example,
+    high_degree_instance,
+    low_degree_instance,
+    planted_acd_instance,
+    voronoi_instance,
+)
+
+__all__ = [
+    "Workload",
+    "bridge_pathology",
+    "cabal_instance",
+    "congest_instance",
+    "contraction_instance",
+    "figure1_example",
+    "high_degree_instance",
+    "low_degree_instance",
+    "planted_acd_instance",
+    "voronoi_instance",
+]

@@ -1,0 +1,347 @@
+"""Workload generators with planted ground truth.
+
+Each generator returns a :class:`Workload`: a cluster graph plus whatever
+ground truth the corresponding experiment needs (planted clique membership,
+anti-degrees, expected regime).  Generators are deterministic given the rng.
+
+The families mirror the paper's narrative:
+
+* planted ACD instances (dense almost-cliques + genuinely sparse vertices)
+  for Experiment E6 and the non-cabal pipeline;
+* cabal instances (near-cliques with tiny external degree and controlled
+  anti-degree) for the colorful-matching and put-aside experiments;
+* CONGEST identity instances (``H = G``), the model the paper generalizes;
+* contraction/Voronoi instances, how cluster graphs arise in practice;
+* the Figure 1 example and Figure 2/3 bridge pathology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.cluster.builders import ClusterTopology, blowup, contraction_clusters, voronoi_clusters
+from repro.cluster.cluster_graph import ClusterGraph
+from repro.network.commgraph import CommGraph
+
+
+@dataclass
+class Workload:
+    """A test instance: the graph, its provenance, and planted truth."""
+
+    name: str
+    graph: ClusterGraph
+    planted_cliques: list[list[int]] = field(default_factory=list)
+    planted_sparse: list[int] = field(default_factory=list)
+    expected_regime: str = "auto"  # "high_degree" | "low_degree" | "auto"
+    notes: str = ""
+
+    @property
+    def delta(self) -> int:
+        """Maximum degree of the conflict graph."""
+        return self.graph.max_degree
+
+
+def _planted_almost_clique(
+    h: nx.Graph,
+    members: list[int],
+    rng: np.random.Generator,
+    anti_degree: int,
+) -> None:
+    """Add a clique on ``members`` minus a random sprinkling of anti-edges
+    giving each vertex anti-degree about ``anti_degree``.
+    """
+    size = len(members)
+    h.add_edges_from(
+        (members[i], members[j]) for i in range(size) for j in range(i + 1, size)
+    )
+    if anti_degree <= 0:
+        return
+    target_anti_edges = (anti_degree * size) // 2
+    removed = 0
+    budget = {v: anti_degree for v in members}
+    attempts = 0
+    while removed < target_anti_edges and attempts < 20 * target_anti_edges:
+        attempts += 1
+        i, j = rng.integers(0, size, size=2)
+        u, v = members[int(i)], members[int(j)]
+        if u == v or not h.has_edge(u, v):
+            continue
+        if budget[u] <= 0 or budget[v] <= 0:
+            continue
+        h.remove_edge(u, v)
+        budget[u] -= 1
+        budget[v] -= 1
+        removed += 1
+
+
+def planted_acd_instance(
+    rng: np.random.Generator,
+    *,
+    n_cliques: int = 4,
+    clique_size: int = 50,
+    anti_degree: int = 1,
+    external_degree: int = 2,
+    n_sparse: int = 60,
+    sparse_degree_fraction: float = 0.5,
+    cluster_size: int = 3,
+    topology: ClusterTopology = "star",
+    link_multiplicity: int = 2,
+) -> Workload:
+    """Dense almost-cliques plus a sparse fringe (Experiment E6, Alg. 4).
+
+    Clique vertices get ``external_degree`` edges to the sparse part (making
+    the cliques non-cabals when ``external_degree`` exceeds the cabal
+    threshold, cabals otherwise).  Sparse vertices form an Erdos-Renyi graph
+    with expected degree ``sparse_degree_fraction * clique_size`` -- high
+    enough to be interesting, sparse enough to have Omega(eps^2 Delta)
+    sparsity.
+    """
+    h = nx.Graph()
+    cliques: list[list[int]] = []
+    next_id = 0
+    for _ in range(n_cliques):
+        members = list(range(next_id, next_id + clique_size))
+        next_id += clique_size
+        h.add_nodes_from(members)
+        _planted_almost_clique(h, members, rng, anti_degree)
+        cliques.append(members)
+    sparse = list(range(next_id, next_id + n_sparse))
+    h.add_nodes_from(sparse)
+    if n_sparse > 1:
+        p = min(1.0, sparse_degree_fraction * clique_size / max(1, n_sparse - 1))
+        for i in range(n_sparse):
+            for j in range(i + 1, n_sparse):
+                if rng.random() < p:
+                    h.add_edge(sparse[i], sparse[j])
+    if sparse:
+        for members in cliques:
+            for v in members:
+                targets = rng.choice(sparse, size=min(external_degree, n_sparse), replace=False)
+                for t in targets:
+                    h.add_edge(v, int(t))
+    graph = blowup(
+        h,
+        rng,
+        cluster_size=cluster_size,
+        topology=topology,
+        link_multiplicity=link_multiplicity,
+    )
+    return Workload(
+        name="planted_acd",
+        graph=graph,
+        planted_cliques=cliques,
+        planted_sparse=sparse,
+        expected_regime="auto",
+        notes=(
+            f"{n_cliques} cliques of {clique_size} (anti-degree ~{anti_degree}, "
+            f"external ~{external_degree}), {n_sparse} sparse vertices"
+        ),
+    )
+
+
+def cabal_instance(
+    rng: np.random.Generator,
+    *,
+    n_cabals: int = 3,
+    clique_size: int = 60,
+    anti_degree: int = 2,
+    inter_cabal_links: int = 2,
+    cluster_size: int = 2,
+    topology: ClusterTopology = "star",
+) -> Workload:
+    """Near-disjoint dense cliques with tiny external degree -- the cabal
+    regime of Sections 6 and 7 (Experiments E7/E8).
+
+    Consecutive cabals are joined by ``inter_cabal_links`` single edges, so
+    external degrees are O(1) and every clique classifies as a cabal.
+    """
+    h = nx.Graph()
+    cliques: list[list[int]] = []
+    next_id = 0
+    for _ in range(n_cabals):
+        members = list(range(next_id, next_id + clique_size))
+        next_id += clique_size
+        h.add_nodes_from(members)
+        _planted_almost_clique(h, members, rng, anti_degree)
+        cliques.append(members)
+    for i in range(n_cabals):
+        a, b = cliques[i], cliques[(i + 1) % n_cabals]
+        if n_cabals == 1:
+            break
+        for _ in range(inter_cabal_links):
+            u = a[int(rng.integers(0, len(a)))]
+            v = b[int(rng.integers(0, len(b)))]
+            if u != v:
+                h.add_edge(u, v)
+    graph = blowup(h, rng, cluster_size=cluster_size, topology=topology)
+    return Workload(
+        name="cabal",
+        graph=graph,
+        planted_cliques=cliques,
+        expected_regime="auto",
+        notes=f"{n_cabals} cabals of {clique_size}, anti-degree ~{anti_degree}",
+    )
+
+
+def congest_instance(
+    rng: np.random.Generator, *, n: int = 300, p: float | None = None
+) -> Workload:
+    """``H = G``: the CONGEST special case the paper strictly generalizes."""
+    if p is None:
+        p = min(1.0, 8.0 / n + 0.05)
+    g = nx.erdos_renyi_graph(n, p, seed=int(rng.integers(0, 2**31)))
+    # keep it connected for Voronoi/identity builders
+    components = list(nx.connected_components(g))
+    for i in range(len(components) - 1):
+        u = next(iter(components[i]))
+        v = next(iter(components[i + 1]))
+        g.add_edge(u, v)
+    comm = CommGraph.from_networkx(g)
+    return Workload(
+        name="congest",
+        graph=ClusterGraph.identity(comm),
+        expected_regime="auto",
+        notes=f"identity clusters on G(n={n}, p={p:.3f})",
+    )
+
+
+def contraction_instance(
+    rng: np.random.Generator, *, n: int = 600, p: float = 0.02, fraction: float = 0.5
+) -> Workload:
+    """Cluster graph obtained by contracting a random forest of a random
+    network -- how cluster graphs arise in flow/decomposition algorithms.
+    """
+    g = nx.erdos_renyi_graph(n, p, seed=int(rng.integers(0, 2**31)))
+    components = list(nx.connected_components(g))
+    for i in range(len(components) - 1):
+        g.add_edge(next(iter(components[i])), next(iter(components[i + 1])))
+    comm = CommGraph.from_networkx(g)
+    return Workload(
+        name="contraction",
+        graph=contraction_clusters(comm, fraction, rng),
+        expected_regime="auto",
+        notes=f"random forest contraction ({fraction:.0%}) of G(n={n}, p={p})",
+    )
+
+
+def voronoi_instance(
+    rng: np.random.Generator, *, n: int = 600, p: float = 0.02, n_clusters: int = 150
+) -> Workload:
+    """Voronoi (BFS-region) clustering of a random network."""
+    g = nx.erdos_renyi_graph(n, p, seed=int(rng.integers(0, 2**31)))
+    components = list(nx.connected_components(g))
+    for i in range(len(components) - 1):
+        g.add_edge(next(iter(components[i])), next(iter(components[i + 1])))
+    comm = CommGraph.from_networkx(g)
+    return Workload(
+        name="voronoi",
+        graph=voronoi_clusters(comm, n_clusters, rng),
+        expected_regime="auto",
+        notes=f"{n_clusters} BFS regions of G(n={n}, p={p})",
+    )
+
+
+def figure1_example() -> Workload:
+    """The 4-cluster illustration of Figure 1: a communication graph whose
+    clusters form a path-with-chord conflict graph, including a doubly-linked
+    cluster pair (the degree-overcounting hazard of Section 1.1).
+    """
+    # Machines 0-2: cluster A (path); 3-5: cluster B (star); 6-7: cluster C;
+    # 8: cluster D (singleton).  B-C realized by two distinct links.
+    edges = [
+        (0, 1), (1, 2),          # A internal
+        (3, 4), (3, 5),          # B internal
+        (6, 7),                  # C internal
+        (2, 3),                  # A-B
+        (4, 6), (5, 7),          # B-C twice
+        (7, 8),                  # C-D
+        (1, 8),                  # A-D
+    ]
+    comm = CommGraph(9, edges)
+    assignment = [0, 0, 0, 1, 1, 1, 2, 2, 3]
+    return Workload(
+        name="figure1",
+        graph=ClusterGraph.from_assignment(comm, assignment),
+        notes="hand-built Figure 1 example (4 clusters, one doubled link)",
+    )
+
+
+def bridge_pathology(
+    rng: np.random.Generator, *, half_size: int = 20, external_per_side: int = 10
+) -> Workload:
+    """The Figure 2/3 hazard: a bridge-topology cluster whose halves see
+    different external neighbors, forcing palette information through one
+    ``O(log n)``-bit link.
+    """
+    h = nx.Graph()
+    center = 0
+    externals = list(range(1, 2 * external_per_side + 1))
+    h.add_nodes_from([center] + externals)
+    for v in externals:
+        h.add_edge(center, v)
+    # externals form a sparse ring so the instance is connected and colorable
+    for i in range(len(externals)):
+        h.add_edge(externals[i], externals[(i + 1) % len(externals)])
+    graph = blowup(
+        h,
+        rng,
+        cluster_size=max(2, half_size),
+        topology="bridge",
+        link_multiplicity=1,
+    )
+    return Workload(
+        name="bridge",
+        graph=graph,
+        notes=f"bridge cluster with {2 * external_per_side} external neighbors",
+    )
+
+
+def high_degree_instance(
+    rng: np.random.Generator,
+    *,
+    n_vertices: int = 400,
+    degree_fraction: float = 0.5,
+    cluster_size: int = 2,
+    topology: ClusterTopology = "star",
+) -> Workload:
+    """A dense random conflict graph whose Delta exceeds the (scaled)
+    high-degree threshold -- Theorem 1.2 territory (Experiment E1).
+    """
+    p = degree_fraction
+    g = nx.erdos_renyi_graph(n_vertices, p, seed=int(rng.integers(0, 2**31)))
+    components = list(nx.connected_components(g))
+    for i in range(len(components) - 1):
+        g.add_edge(next(iter(components[i])), next(iter(components[i + 1])))
+    graph = blowup(g, rng, cluster_size=cluster_size, topology=topology)
+    return Workload(
+        name="high_degree",
+        graph=graph,
+        expected_regime="high_degree",
+        notes=f"G({n_vertices}, {p:.2f}) conflict graph, clusters of {cluster_size}",
+    )
+
+
+def low_degree_instance(
+    rng: np.random.Generator,
+    *,
+    n_vertices: int = 500,
+    target_degree: int = 8,
+    cluster_size: int = 3,
+    topology: ClusterTopology = "path",
+) -> Workload:
+    """A sparse conflict graph (Delta = O(log n)): Theorem 1.1 territory
+    (Experiment E2)."""
+    d = max(2, target_degree)
+    if (n_vertices * d) % 2 == 1:
+        n_vertices += 1
+    g = nx.random_regular_graph(d, n_vertices, seed=int(rng.integers(0, 2**31)))
+    graph = blowup(g, rng, cluster_size=cluster_size, topology=topology)
+    return Workload(
+        name="low_degree",
+        graph=graph,
+        expected_regime="low_degree",
+        notes=f"{d}-regular conflict graph on {n_vertices} vertices",
+    )

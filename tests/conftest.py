@@ -1,0 +1,53 @@
+"""Shared fixtures: deterministic rngs and session-cached workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation import ClusterRuntime
+from repro.params import scaled
+from repro.workloads import (
+    cabal_instance,
+    congest_instance,
+    figure1_example,
+    planted_acd_instance,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def planted_workload():
+    """A planted-ACD instance shared across the session (read-only)."""
+    return planted_acd_instance(np.random.default_rng(777))
+
+
+@pytest.fixture(scope="session")
+def cabal_workload():
+    """A cabal-heavy instance shared across the session (read-only)."""
+    return cabal_instance(np.random.default_rng(778))
+
+
+@pytest.fixture(scope="session")
+def congest_workload():
+    """An identity-cluster instance shared across the session (read-only)."""
+    return congest_instance(np.random.default_rng(779))
+
+
+@pytest.fixture(scope="session")
+def figure1_workload():
+    """The hand-built Figure 1 example."""
+    return figure1_example()
+
+
+def make_runtime(graph, seed: int = 5) -> ClusterRuntime:
+    """Fresh runtime bound to a graph (helper, not a fixture, so tests can
+    spawn several against one session-scoped graph)."""
+    return ClusterRuntime(
+        graph=graph, params=scaled(), rng=np.random.default_rng(seed)
+    )

@@ -1,0 +1,128 @@
+"""Adversarial scenarios the lemmas explicitly guard against.
+
+Lemma 4.13 holds "even if random bits outside K are adversarial"; the
+bridge pathology of Figures 2/3 starves information flow; colorings chosen
+by an adversary before a stage runs must not break it.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import color_cluster_graph
+from repro.cluster import blowup
+from repro.coloring.clique_palette import palette_view
+from repro.coloring.synchronized_trial import SctPlan, synchronized_color_trial
+from repro.coloring.types import PartialColoring
+from repro.verify import is_proper
+from repro.workloads import bridge_pathology
+from tests.conftest import make_runtime
+
+
+class TestAdversarialSct:
+    def test_adversarial_external_colors(self):
+        """An adversary pre-colors every external neighbor of K to the
+        colors the SCT is about to hand out.  Lemma 4.13: the damage is
+        bounded by the external degree, and the trial stays proper."""
+        size, externals = 80, 12
+        h = nx.Graph()
+        clique = list(range(size))
+        outside = list(range(size, size + externals))
+        h.add_edges_from(
+            (clique[i], clique[j]) for i in range(size) for j in range(i + 1, size)
+        )
+        # each external vertex attaches to three clique members
+        for i, x in enumerate(outside):
+            for j in range(3):
+                h.add_edge(x, clique[(7 * i + j * 13) % size])
+        graph = blowup(h, np.random.default_rng(0), cluster_size=1)
+        runtime = make_runtime(graph, 3)
+        coloring = PartialColoring.empty(graph.n_vertices, graph.max_degree + 1)
+        # adversary: externals grab the first colors of the clique palette
+        # (exactly the ones the permutation will assign first)
+        for i, x in enumerate(outside):
+            coloring.assign(x, i)
+        view = palette_view(runtime, coloring, clique)
+        plan = SctPlan(participants=clique, palette=view, reserved_floor=0)
+        leftover = synchronized_color_trial(runtime, coloring, [plan])
+        assert is_proper(graph, coloring.colors, allow_partial=True)
+        # at most one knock-out per external adjacency (3 per external)
+        assert len(leftover) <= 3 * externals
+
+    def test_adversarial_precoloring_of_half_the_clique(self):
+        """The SCT must respect an arbitrary adversarial partial coloring
+        of K itself (the palette view already excludes used colors)."""
+        size = 60
+        graph = blowup(
+            nx.complete_graph(size), np.random.default_rng(1), cluster_size=1
+        )
+        runtime = make_runtime(graph, 4)
+        coloring = PartialColoring.empty(size, graph.max_degree + 1)
+        rng = np.random.default_rng(2)
+        colors = rng.permutation(graph.max_degree + 1)[: size // 2]
+        for v, c in zip(range(size // 2), colors):
+            coloring.assign(v, int(c))
+        members = list(range(size))
+        view = palette_view(runtime, coloring, members)
+        plan = SctPlan(
+            participants=[v for v in members if not coloring.is_colored(v)],
+            palette=view,
+            reserved_floor=0,
+        )
+        leftover = synchronized_color_trial(runtime, coloring, [plan])
+        assert leftover == []
+        assert is_proper(graph, coloring.colors, allow_partial=True)
+
+
+class TestBridgePathology:
+    def test_figure2_instance_colors_correctly(self):
+        """The Figure 2/3 hazard: all palette information must cross one
+        O(log n)-bit link.  The pipeline must stay correct and model-
+        compliant (the ledger enforces the cap)."""
+        w = bridge_pathology(np.random.default_rng(3), half_size=24,
+                             external_per_side=15)
+        result = color_cluster_graph(w.graph, seed=5)
+        assert result.proper
+        from repro.params import scaled
+
+        assert result.ledger_summary["max_message_bits"] <= scaled().bandwidth_bits(
+            w.graph.n_machines
+        )
+
+    def test_deep_path_clusters(self):
+        """Extreme dilation: path clusters of 30 machines.  Correctness and
+        the d-factor in G-rounds must both survive."""
+        conflict = nx.gnp_random_graph(40, 0.3, seed=6)
+        comps = list(nx.connected_components(conflict))
+        for i in range(len(comps) - 1):
+            conflict.add_edge(next(iter(comps[i])), next(iter(comps[i + 1])))
+        graph = blowup(
+            conflict, np.random.default_rng(7), cluster_size=30, topology="path"
+        )
+        assert graph.dilation >= 29
+        result = color_cluster_graph(graph, seed=6)
+        assert result.proper
+        assert result.rounds_g >= 29 * result.rounds_h // 2
+
+
+class TestStressSweep:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_auto_regime_ten_seeds(self, seed):
+        """Ten fresh instances across the regime spectrum; auto dispatch
+        must always produce a proper total coloring."""
+        rng = np.random.default_rng(1000 + seed)
+        kind = seed % 3
+        if kind == 0:
+            from repro.workloads import planted_acd_instance
+
+            w = planted_acd_instance(rng, n_cliques=2 + seed % 3)
+        elif kind == 1:
+            from repro.workloads import low_degree_instance
+
+            w = low_degree_instance(rng, n_vertices=150 + 40 * seed)
+        else:
+            from repro.workloads import congest_instance
+
+            w = congest_instance(rng, n=150 + 30 * seed)
+        result = color_cluster_graph(w.graph, seed=seed)
+        assert result.proper, f"seed {seed} ({w.name}) failed"

@@ -1,0 +1,162 @@
+"""Aggregation primitives: BFS (Lemma 3.2), prefix sums (Lemma 3.3),
+random groups (Lemma 4.4), runtime charging."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    bfs_forest,
+    local_identifiers,
+    prefix_sums,
+    random_groups,
+    tree_totals,
+)
+from repro.cluster import ClusterGraph, blowup
+from repro.network import CommGraph
+from tests.conftest import make_runtime
+
+
+def _cycle_runtime(n=12, seed=3):
+    comm = CommGraph(n, [(i, (i + 1) % n) for i in range(n)])
+    return make_runtime(ClusterGraph.identity(comm), seed)
+
+
+class TestBfsForest:
+    def test_depths_match_networkx(self):
+        g = nx.connected_watts_strogatz_graph(30, 4, 0.3, seed=5)
+        h = ClusterGraph.identity(CommGraph.from_networkx(g))
+        runtime = make_runtime(h)
+        (tree,) = bfs_forest(runtime, [(0, range(30))])
+        expected = nx.single_source_shortest_path_length(g, 0)
+        assert tree.depth_of == expected
+
+    def test_vertex_disjointness_enforced(self):
+        runtime = _cycle_runtime()
+        with pytest.raises(ValueError, match="disjoint"):
+            bfs_forest(runtime, [(0, [0, 1, 2]), (2, [2, 3])])
+
+    def test_source_must_belong(self):
+        runtime = _cycle_runtime()
+        with pytest.raises(ValueError, match="not in its component"):
+            bfs_forest(runtime, [(5, [0, 1])])
+
+    def test_hop_bound(self):
+        runtime = _cycle_runtime(n=10)
+        (tree,) = bfs_forest(runtime, [(0, range(10))], max_hops=2)
+        assert max(tree.depth_of.values()) == 2
+        assert len(tree.vertices) == 5  # 0 plus two per direction
+
+    def test_restricted_to_component_set(self):
+        runtime = _cycle_runtime(n=10)
+        (tree,) = bfs_forest(runtime, [(0, [0, 1, 2, 7, 8, 9])])
+        # vertex 5 excluded; reachable set is the arc through the set only
+        assert set(tree.vertices) == {0, 1, 2, 7, 8, 9}
+
+    def test_parallel_components_cost_max_depth(self):
+        runtime = _cycle_runtime(n=20)
+        before = runtime.ledger.rounds_h
+        bfs_forest(runtime, [(0, range(0, 10)), (10, range(10, 20))])
+        cost = runtime.ledger.rounds_h - before
+        assert cost <= 10  # max depth, not sum of depths
+
+    def test_order_total_and_ancestor_first(self):
+        runtime = _cycle_runtime(n=8)
+        (tree,) = bfs_forest(runtime, [(0, range(8))])
+        order = tree.order()
+        assert sorted(order) == sorted(tree.vertices)
+        pos = {v: i for i, v in enumerate(order)}
+        for v, p in tree.parent.items():
+            if p is not None:
+                assert pos[p] < pos[v]
+
+
+class TestPrefixSums:
+    def test_exclusive_prefix_sums(self):
+        runtime = _cycle_runtime(n=8)
+        (tree,) = bfs_forest(runtime, [(0, range(8))])
+        values = {v: v + 1 for v in range(8)}
+        sums = prefix_sums(runtime, [tree], values)
+        order = tree.order()
+        running = 0
+        for v in order:
+            assert sums[v] == running
+            running += values[v]
+
+    def test_subset_participation(self):
+        runtime = _cycle_runtime(n=8)
+        (tree,) = bfs_forest(runtime, [(0, range(8))])
+        values = {2: 10, 5: 20}
+        sums = prefix_sums(runtime, [tree], values)
+        assert set(sums) == {2, 5}
+        order = tree.order()
+        first, second = sorted([2, 5], key=order.index)
+        assert sums[first] == 0
+        assert sums[second] == values[first]
+
+    def test_local_identifiers_dense(self):
+        runtime = _cycle_runtime(n=9)
+        (tree,) = bfs_forest(runtime, [(0, range(9))])
+        ids = local_identifiers(runtime, [tree])
+        assert sorted(ids.values()) == list(range(1, 10))
+
+    def test_tree_totals(self):
+        runtime = _cycle_runtime(n=6)
+        trees = bfs_forest(runtime, [(0, [0, 1, 2]), (3, [3, 4, 5])])
+        totals = tree_totals(runtime, trees, {v: 1 for v in range(6)})
+        assert totals == {0: 3, 3: 3}
+
+    def test_shared_vertices_rejected(self):
+        runtime = _cycle_runtime(n=8)
+        trees = bfs_forest(runtime, [(0, range(8))])
+        with pytest.raises(ValueError, match="share"):
+            prefix_sums(runtime, [trees[0], trees[0]], {0: 1})
+
+
+class TestRandomGroups:
+    def test_partition(self, rng):
+        h = blowup(nx.complete_graph(60), rng, cluster_size=2)
+        runtime = make_runtime(h)
+        groups = random_groups(runtime, list(range(60)), 5)
+        members = [v for g in groups.groups for v in g]
+        assert sorted(members) == list(range(60))
+        assert all(groups.group_of[v] == i for i, g in enumerate(groups.groups) for v in g)
+
+    def test_clique_well_connected(self, rng):
+        """Lemma 4.4: in a true clique every vertex is adjacent to more than
+        half of every group (deterministically here)."""
+        h = blowup(nx.complete_graph(60), rng, cluster_size=2)
+        runtime = make_runtime(h)
+        groups = random_groups(runtime, list(range(60)), 4)
+        assert groups.well_connected
+
+    def test_sparse_graph_flagged(self, rng):
+        h = blowup(nx.cycle_graph(30), rng, cluster_size=1)
+        runtime = make_runtime(h)
+        groups = random_groups(runtime, list(range(30)), 3)
+        assert not groups.well_connected  # cycle vertices see 2 neighbors
+
+    def test_invalid_group_count(self, rng):
+        h = blowup(nx.complete_graph(10), rng, cluster_size=1)
+        runtime = make_runtime(h)
+        with pytest.raises(ValueError):
+            random_groups(runtime, list(range(10)), 0)
+
+
+class TestRuntimeCharging:
+    def test_virtual_graph_congestion_multiplies_g_rounds(self, rng):
+        from repro.cluster import distance2_virtual_graph
+
+        comm = CommGraph(6, [(i, i + 1) for i in range(5)])
+        vg = distance2_virtual_graph(comm)
+        runtime = make_runtime(vg)
+        runtime.h_rounds("x", count=1)
+        # dilation 2 * congestion 2 = 4 G-rounds per H-round
+        assert runtime.ledger.rounds_g == 4
+
+    def test_wide_message_pipelines(self):
+        runtime = _cycle_runtime()
+        cap = runtime.ledger.bandwidth_bits
+        before = runtime.ledger.rounds_h
+        runtime.wide_message("wide", 3 * cap + 1)
+        assert runtime.ledger.rounds_h - before == 4

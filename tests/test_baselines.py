@@ -1,0 +1,88 @@
+"""Baselines: correctness and the qualitative cost relationships E13 uses."""
+
+import numpy as np
+import pytest
+
+from repro import color_cluster_graph
+from repro.baselines import (
+    greedy_color_count,
+    greedy_coloring,
+    local_gather_coloring,
+    luby_coloring,
+    palette_sparsification_coloring,
+)
+from repro.verify import is_proper
+from repro.workloads import high_degree_instance, planted_acd_instance
+
+
+class TestGreedy:
+    def test_proper_and_within_delta_plus_one(self, planted_workload):
+        g = planted_workload.graph
+        colors = greedy_coloring(g)
+        assert is_proper(g, colors)
+        assert colors.max() <= g.max_degree
+
+    def test_order_changes_colors(self, planted_workload):
+        g = planted_workload.graph
+        forward = greedy_color_count(g)
+        backward = greedy_color_count(g, list(reversed(range(g.n_vertices))))
+        assert forward >= 1 and backward >= 1  # both legal
+
+
+class TestLuby:
+    def test_proper(self, planted_workload):
+        r = luby_coloring(planted_workload.graph, seed=1)
+        assert r.proper
+        assert r.fallback_vertices == 0
+
+    def test_congest_variant_cheaper(self, planted_workload):
+        cluster = luby_coloring(planted_workload.graph, seed=2)
+        congest = luby_coloring(
+            planted_workload.graph, seed=2, congest_free_palettes=True
+        )
+        assert congest.rounds_h <= cluster.rounds_h
+
+    def test_round_budget_respected(self, planted_workload):
+        r = luby_coloring(planted_workload.graph, seed=3, max_rounds=1)
+        assert r.proper  # greedy fallback completes
+
+
+class TestPaletteSparsification:
+    def test_proper_whp_no_fallback(self, planted_workload):
+        r = palette_sparsification_coloring(planted_workload.graph, seed=4)
+        assert r.proper
+        assert r.fallback_vertices == 0
+
+    def test_list_size_knob(self, planted_workload):
+        tiny = palette_sparsification_coloring(
+            planted_workload.graph, seed=5, list_coeff=0.05
+        )
+        assert tiny.proper  # may fall back, but must stay correct
+
+
+class TestLocalGather:
+    def test_proper(self, planted_workload):
+        r = local_gather_coloring(planted_workload.graph, seed=6)
+        assert r.proper
+
+
+class TestPositioning:
+    def test_round_shape_flat_vs_linear_in_delta(self):
+        """The headline shape (Experiment E13): palette-bitmap baselines pay
+        Θ(Δ / log n) per round, so their rounds grow with Δ; the paper's
+        algorithm moves only O(log n)-bit sketches, so its rounds stay flat.
+        (The absolute crossover sits at Δ in the thousands -- the benchmark
+        shows it; here we verify the two growth shapes.)"""
+        rounds_ours, rounds_luby, deltas = [], [], []
+        for nv in (200, 600):
+            w = high_degree_instance(np.random.default_rng(11), n_vertices=nv)
+            ours = color_cluster_graph(w.graph, seed=7)
+            luby = luby_coloring(w.graph, seed=7)
+            assert ours.proper and luby.proper
+            rounds_ours.append(ours.rounds_h)
+            rounds_luby.append(luby.rounds_h)
+            deltas.append(w.graph.max_degree)
+        assert deltas[1] > 2 * deltas[0]
+        # ours: flat (within 30%) -- luby: grows with Delta
+        assert rounds_ours[1] < 1.3 * rounds_ours[0]
+        assert rounds_luby[1] > 1.4 * rounds_luby[0]

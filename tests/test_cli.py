@@ -1,0 +1,57 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import GENERATORS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_color_defaults(self):
+        args = build_parser().parse_args(["color"])
+        assert args.workload == "planted_acd"
+        assert args.regime == "auto"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["color", "--workload", "nope"])
+
+
+class TestCommands:
+    def test_color_runs(self, capsys):
+        code = main(["color", "--workload", "figure1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "proper=True" in out
+        assert "stage" in out
+
+    def test_color_forced_regime(self, capsys):
+        code = main(
+            ["color", "--workload", "cabal", "--regime", "polylog", "--seed", "3"]
+        )
+        assert code == 0
+        assert "regime=polylog" in capsys.readouterr().out
+
+    def test_baselines_table(self, capsys):
+        code = main(["baselines", "--workload", "figure1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "this paper" in out
+        assert "luby" in out
+
+    def test_sketch_demo(self, capsys):
+        code = main(["sketch", "--d", "500", "--t", "1024"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "d_hat" in out
+        assert "bits/trial" in out
+
+    def test_workloads_listing(self, capsys):
+        code = main(["workloads"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in GENERATORS:
+            assert name in out

@@ -1,0 +1,174 @@
+"""Cluster graphs (Definition 3.1), support trees, builders, virtual graphs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterGraph,
+    SupportTree,
+    blowup,
+    contraction_clusters,
+    distance2_virtual_graph,
+    power_graph_degree_bound,
+    voronoi_clusters,
+)
+from repro.network import CommGraph
+from repro.workloads import figure1_example
+
+
+class TestSupportTree:
+    def test_bfs_tree_spans_cluster(self):
+        g = CommGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        tree = SupportTree.build_bfs(g, [1, 2, 3], cluster_id=0)
+        assert tree.root == 1
+        assert set(tree.machines) == {1, 2, 3}
+        assert tree.height == 2
+        assert tree.parent[1] is None
+        assert tree.parent[3] == 2
+
+    def test_disconnected_cluster_rejected(self):
+        g = CommGraph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="not connected"):
+            SupportTree.build_bfs(g, [0, 1, 2], cluster_id=0)
+
+    def test_singleton_height_one(self):
+        g = CommGraph(2, [(0, 1)])
+        tree = SupportTree.build_bfs(g, [0], cluster_id=0)
+        assert tree.height == 1  # even singletons cost a round
+
+    def test_custom_root(self):
+        g = CommGraph(3, [(0, 1), (1, 2)])
+        tree = SupportTree.build_bfs(g, [0, 1, 2], cluster_id=0, root=2)
+        assert tree.root == 2
+        assert tree.depth_of[0] == 2
+
+    def test_dfs_order_is_preorder(self):
+        g = CommGraph(4, [(0, 1), (0, 2), (2, 3)])
+        tree = SupportTree.build_bfs(g, [0, 1, 2, 3], cluster_id=0)
+        order = tree.dfs_order()
+        assert order[0] == 0
+        assert order.index(2) < order.index(3)  # ancestors first
+        assert sorted(order) == [0, 1, 2, 3]
+
+
+class TestClusterGraph:
+    def test_figure1_semantics(self):
+        """Figure 1's key feature: two clusters joined by several links form
+        ONE H-edge; link counting overestimates the true degree."""
+        w = figure1_example()
+        g = w.graph
+        assert g.n_vertices == 4
+        # clusters B (1) and C (2) are joined by two links
+        assert len(g.links[(1, 2)]) == 2
+        assert g.degree(1) == g.degree(2) == 2
+        # the cheap aggregate (incident links) overcounts the true degree
+        assert g.link_count(1) == 3 > g.degree(1)
+        assert g.link_count(2) == 3 > g.degree(2)
+
+    def test_identity_is_congest(self):
+        comm = CommGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        h = ClusterGraph.identity(comm)
+        assert h.n_vertices == comm.n
+        assert h.dilation == 1
+        assert sorted(h.iter_h_edges()) == sorted(comm.iter_links())
+
+    def test_assignment_validation(self):
+        comm = CommGraph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="not connected"):
+            ClusterGraph.from_assignment(comm, [0, 1, 0, 1])
+        with pytest.raises(ValueError, match="dense"):
+            ClusterGraph.from_assignment(CommGraph(2, [(0, 1)]), [0, 2])
+        with pytest.raises(ValueError, match="covers"):
+            ClusterGraph.from_assignment(CommGraph(2, [(0, 1)]), [0])
+
+    def test_intra_cluster_links_not_h_edges(self):
+        comm = CommGraph(4, [(0, 1), (1, 2), (2, 3)])
+        h = ClusterGraph.from_assignment(comm, [0, 0, 1, 1])
+        assert h.n_h_edges == 1
+        assert h.are_adjacent(0, 1)
+
+    def test_anti_neighbors(self):
+        comm = CommGraph(4, [(0, 1), (1, 2), (2, 3)])
+        h = ClusterGraph.identity(comm)
+        assert h.anti_neighbors_within(0, [0, 1, 2, 3]) == [2, 3]
+
+    def test_neighbor_array_cached(self):
+        comm = CommGraph(3, [(0, 1), (1, 2)])
+        h = ClusterGraph.identity(comm)
+        a1 = h.neighbor_array(1)
+        a2 = h.neighbor_array(1)
+        assert a1 is a2
+        assert list(a1) == [0, 2]
+
+
+class TestBuilders:
+    def test_voronoi_partition_valid(self, rng):
+        g = CommGraph.from_networkx(nx.connected_watts_strogatz_graph(60, 4, 0.2, seed=1))
+        h = voronoi_clusters(g, 12, rng)
+        assert h.n_vertices == 12
+        assert sum(h.cluster_size(v) for v in range(12)) == 60
+
+    def test_contraction_partition_valid(self, rng):
+        g = CommGraph.from_networkx(nx.connected_watts_strogatz_graph(60, 4, 0.2, seed=2))
+        h = contraction_clusters(g, 0.5, rng)
+        assert sum(h.cluster_size(v) for v in range(h.n_vertices)) == 60
+        assert h.n_vertices < 60  # something actually contracted
+
+    def test_contraction_zero_fraction_is_identity(self, rng):
+        g = CommGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        h = contraction_clusters(g, 0.0, rng)
+        assert h.n_vertices == 5
+
+    def test_blowup_realizes_conflict_graph(self, rng):
+        target = nx.petersen_graph()
+        h = blowup(target, rng, cluster_size=3, topology="path", link_multiplicity=2)
+        assert h.n_vertices == 10
+        got = nx.Graph(list(h.iter_h_edges()))
+        assert nx.is_isomorphic(got, target)
+
+    def test_blowup_topology_controls_dilation(self, rng):
+        target = nx.cycle_graph(6)
+        star = blowup(target, rng, cluster_size=9, topology="star")
+        path = blowup(target, rng, cluster_size=9, topology="path")
+        assert star.dilation == 1
+        assert path.dilation == 8
+
+    def test_blowup_bridge_topology(self, rng):
+        target = nx.path_graph(3)
+        h = blowup(target, rng, cluster_size=6, topology="bridge")
+        assert h.n_vertices == 3
+        # bridge topology: two stars + 1 link -> height <= 3
+        assert h.dilation <= 3
+
+    def test_blowup_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            blowup(nx.path_graph(2), rng, cluster_size=0)
+        with pytest.raises(ValueError):
+            blowup(nx.path_graph(2), rng, link_multiplicity=0)
+
+
+class TestVirtualGraph:
+    def test_distance2_matches_networkx_square(self):
+        g = nx.random_regular_graph(3, 14, seed=3)
+        comm = CommGraph.from_networkx(g)
+        vg = distance2_virtual_graph(comm)
+        square = nx.power(nx.convert_node_labels_to_integers(g), 2)
+        for u, v in square.edges():
+            assert vg.are_adjacent(u, v)
+        assert vg.max_degree == max(dict(square.degree()).values())
+
+    def test_distance2_congestion_dilation(self):
+        comm = CommGraph(4, [(0, 1), (1, 2), (2, 3)])
+        vg = distance2_virtual_graph(comm)
+        assert vg.congestion == 2
+        assert vg.dilation == 2
+
+    def test_supports_are_closed_neighborhoods(self):
+        comm = CommGraph(4, [(0, 1), (1, 2), (2, 3)])
+        vg = distance2_virtual_graph(comm)
+        assert sorted(vg.supports[1]) == [0, 1, 2]
+
+    def test_power_degree_bound(self):
+        comm = CommGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert power_graph_degree_bound(comm) == 4  # middle vertex sees all

@@ -1,0 +1,188 @@
+"""Sparsity, buddy predicate, ACD (Prop. 4.3), cabal classification."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cluster import blowup
+from repro.decomposition import (
+    AlmostCliqueDecomposition,
+    annotate_with_cabals,
+    anti_degree_proxy,
+    buddy_predicate,
+    compute_acd,
+    exact_acd_reference,
+    friendly_edges,
+    is_valid_almost_clique,
+    all_sparsities,
+    sparsity,
+)
+from repro.params import scaled
+from repro.verify import check_acd
+from repro.workloads import cabal_instance, planted_acd_instance
+from tests.conftest import make_runtime
+
+
+class TestSparsity:
+    def test_clique_vertex_has_zero_sparsity(self, rng):
+        h = blowup(nx.complete_graph(20), rng, cluster_size=1)
+        # every neighbor pair is adjacent -> no missing edges
+        assert sparsity(h, 0) == pytest.approx(0.0)
+
+    def test_star_center_is_maximally_sparse(self, rng):
+        h = blowup(nx.star_graph(20), rng, cluster_size=1)
+        # center's neighborhood has no internal edges at all
+        delta = h.max_degree
+        assert sparsity(h, 0) == pytest.approx(delta * (delta - 1) / 2 / delta)
+
+    def test_all_sparsities_matches_scalar(self, rng):
+        h = blowup(nx.gnp_random_graph(30, 0.3, seed=4), rng, cluster_size=1)
+        vec = all_sparsities(h)
+        for v in range(h.n_vertices):
+            assert vec[v] == pytest.approx(sparsity(h, v), abs=1e-6)
+
+
+class TestValidity:
+    def test_planted_clique_is_valid(self, planted_workload):
+        g = planted_workload.graph
+        for members in planted_workload.planted_cliques:
+            assert is_valid_almost_clique(g, members, scaled().eps)
+
+    def test_fragment_can_be_invalid(self, planted_workload):
+        g = planted_workload.graph
+        clique = planted_workload.planted_cliques[0]
+        oversized = clique + planted_workload.planted_sparse[:40]
+        assert not is_valid_almost_clique(g, oversized, scaled().eps)
+
+    def test_empty_invalid(self, planted_workload):
+        assert not is_valid_almost_clique(planted_workload.graph, [], 0.1)
+
+
+class TestBuddyPredicate:
+    def test_separates_planted_structure(self, planted_workload):
+        g = planted_workload.graph
+        runtime = make_runtime(g)
+        result = buddy_predicate(runtime, xi=0.25)
+        planted = {
+            frozenset((u, v))
+            for members in planted_workload.planted_cliques
+            for i, u in enumerate(members)
+            for v in members[i + 1 :]
+            if g.are_adjacent(u, v)
+        }
+        yes = {frozenset(e) for e in result.yes_edges}
+        # nearly all intra-clique edges detected, nearly nothing else
+        recall = len(yes & planted) / len(planted)
+        precision = len(yes & planted) / max(1, len(yes))
+        assert recall > 0.95
+        assert precision > 0.95
+
+    def test_exact_friendly_edges_reference(self, planted_workload):
+        g = planted_workload.graph
+        exact = friendly_edges(g, xi=0.25)
+        for u, v in exact:
+            common = len(g.neighbor_set(u) & g.neighbor_set(v))
+            assert common >= (1 - 0.25) * g.max_degree
+
+
+class TestComputeAcd:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_recovers_planted_cliques(self, seed):
+        w = planted_acd_instance(np.random.default_rng(seed))
+        runtime = make_runtime(w.graph, seed=seed + 100)
+        acd = compute_acd(runtime)
+        found = sorted(tuple(c) for c in acd.cliques)
+        assert found == sorted(tuple(c) for c in w.planted_cliques)
+        assert sorted(acd.sparse) == sorted(w.planted_sparse)
+
+    def test_result_satisfies_definition_4_2(self, planted_workload):
+        runtime = make_runtime(planted_workload.graph)
+        acd = compute_acd(runtime)
+        assert check_acd(planted_workload.graph, acd, scaled().eps) == []
+
+    def test_sparse_only_graph(self, rng):
+        h = blowup(nx.random_regular_graph(8, 50, seed=7), rng, cluster_size=1)
+        runtime = make_runtime(h)
+        acd = compute_acd(runtime)
+        assert acd.cliques == []
+        assert len(acd.sparse) == 50
+
+    def test_matches_exact_reference(self, planted_workload):
+        g = planted_workload.graph
+        runtime = make_runtime(g)
+        acd = compute_acd(runtime)
+        _sparse_ref, cliques_ref = exact_acd_reference(g, scaled().eps, xi=0.25)
+        assert sorted(tuple(c) for c in acd.cliques) == sorted(
+            tuple(c) for c in cliques_ref
+        )
+
+
+class TestCabalClassification:
+    def test_low_external_degree_cliques_are_cabals(self, cabal_workload):
+        runtime = make_runtime(cabal_workload.graph)
+        acd = annotate_with_cabals(runtime, compute_acd(runtime))
+        assert len(acd.cliques) == len(cabal_workload.planted_cliques)
+        assert all(acd.cabal_flags)
+
+    def test_high_external_degree_cliques_are_not(self):
+        w = planted_acd_instance(
+            np.random.default_rng(5), external_degree=25, n_sparse=120
+        )
+        runtime = make_runtime(w.graph)
+        acd = annotate_with_cabals(runtime, compute_acd(runtime))
+        assert acd.num_cliques > 0
+        assert not any(acd.cabal_flags)
+
+    def test_external_degree_estimates_close(self, planted_workload):
+        g = planted_workload.graph
+        runtime = make_runtime(g)
+        acd = annotate_with_cabals(runtime, compute_acd(runtime))
+        errors = []
+        for members in acd.cliques:
+            for v in members:
+                true = acd.external_degree_true(g, v)
+                errors.append(abs(acd.e_tilde[v] - true))
+        assert np.mean(errors) < 2.0
+
+    def test_reserved_colors_positive_and_capped(self, planted_workload):
+        runtime = make_runtime(planted_workload.graph)
+        acd = annotate_with_cabals(runtime, compute_acd(runtime))
+        delta = planted_workload.graph.max_degree
+        params = scaled()
+        for r in acd.reserved:
+            assert 1 <= r <= params.reserved_cap_mult * params.eps * delta
+
+    def test_anti_degree_proxy_error_bound(self, planted_workload):
+        """Equation (3): x_v in a_v - (Delta - deg(v)) ± delta*e_v, modulo
+        the e~_v estimation noise."""
+        g = planted_workload.graph
+        runtime = make_runtime(g)
+        acd = annotate_with_cabals(runtime, compute_acd(runtime))
+        delta = g.max_degree
+        for members in acd.cliques:
+            for v in members[:10]:
+                x_v = anti_degree_proxy(acd, g, v)
+                a_v = acd.anti_degree_true(g, v)
+                e_v = acd.external_degree_true(g, v)
+                center = a_v - (delta - g.degree(v))
+                noise = abs(acd.e_tilde[v] - e_v)
+                assert abs(x_v - center) <= scaled().delta * e_v + noise + 1e-9
+
+    def test_proxy_rejects_sparse_vertices(self, planted_workload):
+        runtime = make_runtime(planted_workload.graph)
+        acd = annotate_with_cabals(runtime, compute_acd(runtime))
+        with pytest.raises(ValueError):
+            anti_degree_proxy(acd, planted_workload.graph, acd.sparse[0])
+
+
+class TestGroundTruthHelpers:
+    def test_external_and_anti_degree(self, planted_workload):
+        g = planted_workload.graph
+        runtime = make_runtime(g)
+        acd = compute_acd(runtime)
+        members = acd.cliques[0]
+        mset = set(members)
+        v = members[0]
+        nbrs = g.neighbor_set(v)
+        assert acd.external_degree_true(g, v) == len(nbrs - mset)
+        assert acd.anti_degree_true(g, v) == len(mset - nbrs) - 1

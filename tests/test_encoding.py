@@ -1,0 +1,94 @@
+"""Deviation encoding of maxima (Lemmas 5.5 and 5.6), with property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import (
+    best_baseline,
+    decode_maxima,
+    encode_maxima,
+    encoded_size_bits,
+    sample_max_of_geometrics,
+)
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        values = np.array([5, 6, 5, 4, 9], dtype=np.int64)
+        assert (decode_maxima(encode_maxima(values)) == values).all()
+
+    def test_constant_vector_is_compact(self):
+        values = np.full(100, 7, dtype=np.int64)
+        bits = encode_maxima(values)
+        # 2 bits per value (sign + separator) + header
+        assert len(bits) == encoded_size_bits(values) == 1 + 16 + 2 * 100
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=80)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_property(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        encoded = encode_maxima(arr)
+        assert (decode_maxima(encoded) == arr).all()
+        assert len(encoded) == encoded_size_bits(arr)
+
+    def test_explicit_baseline(self):
+        arr = np.array([10, 20], dtype=np.int64)
+        encoded = encode_maxima(arr, baseline=15)
+        assert (decode_maxima(encoded) == arr).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            encode_maxima(np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            encoded_size_bits(np.zeros(0, dtype=np.int64))
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(ValueError):
+            decode_maxima("010")
+
+
+class TestBaseline:
+    def test_median_minimizes_l1(self):
+        values = np.array([1, 2, 2, 3, 50], dtype=np.int64)
+        k = best_baseline(values)
+        cost = np.abs(values - k).sum()
+        for other in range(0, 60):
+            assert cost <= np.abs(values - other).sum()
+
+
+class TestLemma55SizeBound:
+    def test_real_fingerprints_encode_in_o_t_bits(self, rng):
+        """Lemma 5.5: total deviation from the baseline is O(t) w.h.p., so
+        the encoding is O(t + loglog d) bits.  Check the measured constant
+        is modest for a wide range of d."""
+        t = 400
+        for d in (4, 100, 10_000, 10**7):
+            values = sample_max_of_geometrics(rng, d, t)
+            bits = encoded_size_bits(values)
+            per_trial = (bits - 17) / t
+            assert per_trial < 6.0, f"d={d}: {per_trial:.2f} bits/trial"
+
+    def test_size_grows_linearly_in_t(self, rng):
+        d = 1000
+        sizes = {}
+        for t in (100, 200, 400):
+            sizes[t] = np.mean(
+                [
+                    encoded_size_bits(sample_max_of_geometrics(rng, d, t))
+                    for _ in range(20)
+                ]
+            )
+        ratio = sizes[400] / sizes[100]
+        assert 3.0 < ratio < 5.0  # ~linear
+
+    def test_beats_naive_encoding_at_large_t(self, rng):
+        """The point of Lemma 5.6: deviation coding beats the naive
+        O(t loglog n) representation."""
+        d, t = 10**6, 600
+        values = sample_max_of_geometrics(rng, d, t)
+        naive_bits = t * int(np.ceil(np.log2(values.max() + 2)))
+        assert encoded_size_bits(values) < naive_bits

@@ -1,0 +1,140 @@
+"""Fingerprints and the Lemma 5.2 estimator."""
+
+import numpy as np
+import pytest
+
+from repro.sketch import (
+    EMPTY_MAX,
+    Fingerprint,
+    FingerprintTable,
+    batch_estimate,
+    direct_count_fingerprint,
+    estimate_cardinality,
+    failure_probability_bound,
+    neighborhood_maxima,
+    trials_for,
+)
+
+
+class TestEstimator:
+    @pytest.mark.parametrize("d", [1, 5, 37, 256, 4096])
+    def test_unbiased_within_lemma_bound(self, rng, d):
+        """Lemma 5.2 with xi = 0.5 and t = 800: failure prob ~ 6e^-1 is
+        weak, so we check the *average* over repetitions instead."""
+        t = 800
+        estimates = [
+            direct_count_fingerprint(rng, d, t).estimate() for _ in range(40)
+        ]
+        assert np.mean(estimates) == pytest.approx(d, rel=0.12)
+
+    def test_error_shrinks_with_trials(self, rng):
+        d = 500
+        errors = {}
+        for t in (100, 400, 1600):
+            ests = [direct_count_fingerprint(rng, d, t).estimate() for _ in range(40)]
+            errors[t] = np.std(ests) / d
+        assert errors[1600] < errors[400] < errors[100]
+
+    def test_empty_set_estimates_zero(self):
+        fp = Fingerprint.empty(64)
+        assert fp.estimate() == 0.0
+
+    def test_singleton(self, rng):
+        ests = [direct_count_fingerprint(rng, 1, 800).estimate() for _ in range(30)]
+        assert np.mean(ests) == pytest.approx(1.0, abs=0.25)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_cardinality(np.zeros(0, dtype=np.int64))
+
+    def test_failure_bound_formula(self):
+        assert failure_probability_bound(1.0, 200) == pytest.approx(
+            6 * np.exp(-1.0)
+        )
+
+    def test_trials_for_inverts_bound(self):
+        t = trials_for(0.5, 0.01)
+        assert failure_probability_bound(0.5, t) <= 0.01
+
+
+class TestBatchEstimate:
+    def test_matches_scalar_estimator(self, rng):
+        rows = np.stack(
+            [direct_count_fingerprint(rng, d, 256).maxima for d in (3, 50, 700)]
+        )
+        batch = batch_estimate(rows)
+        scalar = [estimate_cardinality(r) for r in rows]
+        assert np.allclose(batch, scalar, rtol=1e-9)
+
+    def test_empty_rows_zero(self):
+        rows = np.full((2, 64), EMPTY_MAX, dtype=np.int64)
+        assert (batch_estimate(rows) == 0).all()
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError):
+            batch_estimate(np.zeros(10, dtype=np.int64))
+
+
+class TestFingerprintObject:
+    def test_merge_is_union_semantics(self, rng):
+        """merge(fp(A), fp(B)) == fp(A ∪ B) when built from shared
+        variables -- the property that defeats double counting."""
+        table = FingerprintTable(100, 128, rng)
+        a = table.set_fingerprint(range(0, 60))
+        b = table.set_fingerprint(range(40, 100))  # overlaps A
+        union = table.set_fingerprint(range(0, 100))
+        merged = a.merge(b)
+        assert (merged.maxima == union.maxima).all()
+
+    def test_merge_with_empty(self, rng):
+        table = FingerprintTable(10, 32, rng)
+        a = table.set_fingerprint(range(10))
+        assert (a.merge(Fingerprint.empty(32)).maxima == a.maxima).all()
+
+    def test_encoded_bits_positive_and_linear_ish(self, rng):
+        table = FingerprintTable(500, 256, rng)
+        fp = table.set_fingerprint(range(500))
+        bits = fp.encoded_bits()
+        # Lemma 5.6: O(t + loglog d); generous envelope check
+        assert 2 * 256 <= bits <= 20 * 256
+
+
+class TestArgmaxPerTrial:
+    def test_consistency_with_rows(self, rng):
+        table = FingerprintTable(50, 64, rng)
+        values, argmax, unique = table.argmax_per_trial(range(50))
+        block = table.rows[:50].astype(np.int64)
+        assert (values == block.max(axis=0)).all()
+        for i in range(64):
+            attained = np.flatnonzero(block[:, i] == values[i])
+            assert argmax[i] == attained[0]
+            assert unique[i] == (len(attained) == 1)
+
+    def test_empty_vertex_set(self, rng):
+        table = FingerprintTable(10, 16, rng)
+        values, argmax, unique = table.argmax_per_trial([])
+        assert (values == EMPTY_MAX).all()
+        assert (argmax == -1).all()
+        assert not unique.any()
+
+
+class TestNeighborhoodMaxima:
+    def test_matches_bruteforce(self, rng):
+        import networkx as nx
+
+        g = nx.gnp_random_graph(40, 0.2, seed=9)
+        table = FingerprintTable(40, 32, rng)
+        src, dst = [], []
+        for u, v in g.edges():
+            src += [u, v]
+            dst += [v, u]
+        out = neighborhood_maxima(
+            table.rows, np.array(src), np.array(dst), 40
+        )
+        for v in range(40):
+            nbrs = list(g.neighbors(v))
+            if not nbrs:
+                assert (out[v] == EMPTY_MAX).all()
+            else:
+                expected = table.rows[nbrs].max(axis=0)
+                assert (out[v] == expected).all()

@@ -1,0 +1,147 @@
+"""Colorful matching (Lemma 4.9) and fingerprint matching (Section 6)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cluster import blowup
+from repro.coloring.colorful_matching import colorful_matching
+from repro.coloring.fingerprint_matching import (
+    color_anti_edge_matching,
+    fingerprint_matching,
+    matching_trial_count,
+)
+from repro.coloring.types import PartialColoring
+from repro.decomposition import annotate_with_cabals, compute_acd
+from repro.verify import check_colorful_matching, is_proper
+from repro.workloads import cabal_instance
+from tests.conftest import make_runtime
+
+
+def _cabal_setup(seed=0, **kw):
+    w = cabal_instance(np.random.default_rng(seed), **kw)
+    runtime = make_runtime(w.graph, seed + 50)
+    acd = annotate_with_cabals(runtime, compute_acd(runtime))
+    coloring = PartialColoring.empty(w.graph.n_vertices, w.graph.max_degree + 1)
+    return w, runtime, acd, coloring
+
+
+class TestColorfulMatching:
+    def test_matching_is_valid_reuse(self):
+        w, runtime, acd, coloring = _cabal_setup(seed=1, anti_degree=4)
+        sizes = colorful_matching(
+            runtime,
+            coloring,
+            {i: m for i, m in enumerate(acd.cliques)},
+            reserved_floor=5,
+        )
+        assert is_proper(w.graph, coloring.colors, allow_partial=True)
+        for i, members in enumerate(acd.cliques):
+            reuse = check_colorful_matching(w.graph, coloring, members)
+            assert reuse >= sizes[i]  # every committed color used >= twice
+
+    def test_reserved_floor_respected(self):
+        w, runtime, acd, coloring = _cabal_setup(seed=2, anti_degree=4)
+        floor = 7
+        colorful_matching(
+            runtime,
+            coloring,
+            {i: m for i, m in enumerate(acd.cliques)},
+            reserved_floor=floor,
+        )
+        for v in range(coloring.n_vertices):
+            if coloring.is_colored(v):
+                assert coloring.get(v) >= floor
+
+    def test_no_anti_edges_no_matching(self, rng):
+        """In a true clique there are no anti-edges to same-color."""
+        g = blowup(nx.complete_graph(40), rng, cluster_size=1)
+        runtime = make_runtime(g)
+        coloring = PartialColoring.empty(40, g.max_degree + 1)
+        sizes = colorful_matching(
+            runtime, coloring, {0: list(range(40))}, reserved_floor=0
+        )
+        assert sizes[0] == 0
+        assert coloring.colored_count() == 0
+
+    def test_matching_grows_with_anti_degree(self):
+        # clique_size 80 keeps Definition 4.2 valid at anti-degree 5
+        small = _cabal_setup(seed=3, anti_degree=1, clique_size=80)
+        large = _cabal_setup(seed=3, anti_degree=5, clique_size=80)
+        results = []
+        for w, runtime, acd, coloring in (small, large):
+            sizes = colorful_matching(
+                runtime,
+                coloring,
+                {i: m for i, m in enumerate(acd.cliques)},
+                reserved_floor=0,
+                rounds=20,
+            )
+            results.append(sum(sizes.values()))
+        assert results[1] > results[0]
+
+
+class TestFingerprintMatching:
+    def test_pairs_are_disjoint_anti_edges(self):
+        w, runtime, acd, _coloring = _cabal_setup(seed=4, anti_degree=3)
+        for idx, members in enumerate(acd.cliques):
+            found = fingerprint_matching(runtime, idx, members)
+            seen: set[int] = set()
+            for u, v in found.pairs:
+                assert not w.graph.are_adjacent(u, v)  # anti-edge
+                assert u in set(members) and v in set(members)
+                assert u not in seen and v not in seen  # matching
+                seen.update((u, v))
+
+    def test_finds_enough_pairs_lemma_6_2(self):
+        """Planted anti-degree 2 cabals: the matching must cover the typical
+        anti-degree (the operational content of Lemma 6.2 /
+        Proposition 4.15)."""
+        w, runtime, acd, _ = _cabal_setup(seed=5, anti_degree=2, clique_size=80)
+        for idx, members in enumerate(acd.cliques):
+            found = fingerprint_matching(runtime, idx, members)
+            assert found.size >= 2
+
+    def test_trial_count_capped_by_clique(self):
+        w, runtime, _, _ = _cabal_setup(seed=6)
+        assert matching_trial_count(runtime, 30) <= 10
+        assert matching_trial_count(runtime, 3000) >= 30
+
+    def test_clique_without_anti_edges_yields_empty(self, rng):
+        g = blowup(nx.complete_graph(30), rng, cluster_size=1)
+        runtime = make_runtime(g)
+        found = fingerprint_matching(runtime, 0, list(range(30)))
+        assert found.pairs == []
+
+
+class TestColorAntiEdgeMatching:
+    def test_pairs_get_common_color_properly(self):
+        w, runtime, acd, coloring = _cabal_setup(seed=7, anti_degree=3)
+        matchings = [
+            fingerprint_matching(runtime, idx, members)
+            for idx, members in enumerate(acd.cliques)
+        ]
+        colored = color_anti_edge_matching(
+            runtime, coloring, matchings, reserved_floor=4
+        )
+        assert is_proper(w.graph, coloring.colors, allow_partial=True)
+        total_pairs = 0
+        for m in matchings:
+            for u, v in m.pairs:
+                if coloring.is_colored(u) and coloring.is_colored(v):
+                    assert coloring.get(u) == coloring.get(v)
+                    assert coloring.get(u) >= 4
+                    total_pairs += 1
+        assert total_pairs == sum(colored.values())
+        assert total_pairs >= sum(m.size for m in matchings) * 3 // 4
+
+    def test_already_colored_pairs_skipped(self):
+        w, runtime, acd, coloring = _cabal_setup(seed=8, anti_degree=2)
+        found = fingerprint_matching(runtime, 0, acd.cliques[0])
+        if found.pairs:
+            u, _v = found.pairs[0]
+            coloring.assign(u, coloring.num_colors - 1)
+            colored = color_anti_edge_matching(
+                runtime, coloring, [found], reserved_floor=0
+            )
+            assert colored[0] <= len(found.pairs) - 1

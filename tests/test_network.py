@@ -1,0 +1,175 @@
+"""CommGraph, BandwidthLedger, MachineSimulator (the model of Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    BandwidthLedger,
+    CommGraph,
+    MachineSimulator,
+    ModelViolation,
+)
+
+
+class TestCommGraph:
+    def test_basic_construction(self):
+        g = CommGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.n == 4
+        assert g.num_links == 3
+        assert g.degree(1) == 2
+        assert list(g.neighbors(1)) == [0, 2]
+
+    def test_duplicate_links_collapsed(self):
+        g = CommGraph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_links == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            CommGraph(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CommGraph(2, [(0, 5)])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            CommGraph(0, [])
+
+    def test_has_link(self):
+        g = CommGraph(5, [(0, 1), (1, 3), (3, 4)])
+        assert g.has_link(0, 1) and g.has_link(1, 0)
+        assert g.has_link(3, 4)
+        assert not g.has_link(0, 4)
+        assert not g.has_link(2, 3)
+
+    def test_iter_links_canonical(self):
+        g = CommGraph(4, [(3, 1), (0, 2)])
+        links = sorted(g.iter_links())
+        assert links == [(0, 2), (1, 3)]
+
+    def test_connected_subset(self):
+        g = CommGraph(5, [(0, 1), (1, 2), (3, 4)])
+        assert g.is_connected_subset([0, 1, 2])
+        assert not g.is_connected_subset([0, 1, 3])
+        assert g.is_connected_subset([3, 4])
+        assert not g.is_connected_subset([])
+
+    def test_networkx_round_trip(self):
+        import networkx as nx
+
+        nx_graph = nx.cycle_graph(6)
+        g = CommGraph.from_networkx(nx_graph)
+        back = g.to_networkx()
+        assert back.number_of_edges() == 6
+        assert nx.is_isomorphic(nx_graph, back)
+
+
+class TestLedger:
+    def test_simple_charge(self):
+        ledger = BandwidthLedger(bandwidth_bits=32, dilation=3)
+        ledger.charge("op", 16, rounds_h=2)
+        assert ledger.rounds_h == 2
+        assert ledger.rounds_g == 6  # dilation multiplies
+        assert ledger.max_message_bits == 16
+
+    def test_strict_violation(self):
+        ledger = BandwidthLedger(bandwidth_bits=32)
+        with pytest.raises(ModelViolation, match="cap is 32"):
+            ledger.charge("wide", 64)
+
+    def test_pipelining_splits_rounds(self):
+        ledger = BandwidthLedger(bandwidth_bits=32, dilation=1)
+        charged = ledger.charge("wide", 100, pipelined=True)
+        assert charged == 4  # ceil(100/32)
+        assert ledger.rounds_h == 4
+        assert ledger.max_message_bits <= 32
+
+    def test_non_strict_auto_pipelines(self):
+        ledger = BandwidthLedger(bandwidth_bits=32, strict=False)
+        ledger.charge("wide", 64)
+        assert ledger.rounds_h == 2
+
+    def test_snapshot_diff(self):
+        ledger = BandwidthLedger(bandwidth_bits=32)
+        before = ledger.snapshot()
+        ledger.charge("a", 8)
+        ledger.charge("b", 8, rounds_h=3)
+        diff = before.diff(ledger.snapshot())
+        assert diff.rounds_h == 4
+        assert diff.num_operations == 2
+
+    def test_per_op_breakdown(self):
+        ledger = BandwidthLedger(bandwidth_bits=32)
+        ledger.charge("x", 8, rounds_h=2)
+        ledger.charge("x", 8)
+        ledger.charge("y", 8)
+        assert ledger.per_op_rounds["x"] == 3
+        assert ledger.per_op_rounds["y"] == 1
+
+    def test_compliance_assertion(self):
+        ledger = BandwidthLedger(bandwidth_bits=32)
+        ledger.charge("ok", 30)
+        ledger.assert_compliant()
+
+    def test_negative_cost_rejected(self):
+        ledger = BandwidthLedger(bandwidth_bits=32)
+        with pytest.raises(ValueError):
+            ledger.charge("bad", -1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BandwidthLedger(bandwidth_bits=0)
+        with pytest.raises(ValueError):
+            BandwidthLedger(bandwidth_bits=8, dilation=0)
+
+
+class TestMachineSimulator:
+    def _line(self) -> CommGraph:
+        return CommGraph(3, [(0, 1), (1, 2)])
+
+    def test_message_delivery(self):
+        sim = MachineSimulator(self._line(), bandwidth_bits=16)
+
+        def step(machine, rnd, inbox):
+            if rnd == 0 and machine == 0:
+                return [(1, "hello", 8)]
+            return []
+
+        sim.run(step, rounds=1)
+        inbox = sim.inbox(1)
+        assert len(inbox) == 1
+        assert inbox[0].payload == "hello"
+        assert sim.total_bits == 8
+
+    def test_cap_enforced(self):
+        sim = MachineSimulator(self._line(), bandwidth_bits=16)
+        with pytest.raises(ModelViolation, match="exceeds cap"):
+            sim.run_round(lambda m, r, i: [(1, "x", 99)] if m == 0 else [])
+
+    def test_non_neighbor_rejected(self):
+        sim = MachineSimulator(self._line(), bandwidth_bits=16)
+        with pytest.raises(ModelViolation, match="non-neighbor"):
+            sim.run_round(lambda m, r, i: [(2, "x", 4)] if m == 0 else [])
+
+    def test_one_message_per_link_per_round(self):
+        sim = MachineSimulator(self._line(), bandwidth_bits=16)
+        with pytest.raises(ModelViolation, match="twice"):
+            sim.run_round(
+                lambda m, r, i: [(1, "a", 4), (1, "b", 4)] if m == 0 else []
+            )
+
+    def test_flood_reaches_everyone(self):
+        # broadcast by flooding: round counter equals eccentricity
+        g = CommGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sim = MachineSimulator(g, bandwidth_bits=16)
+        informed = {0}
+
+        def step(machine, rnd, inbox):
+            if inbox:
+                informed.add(machine)
+            if machine in informed:
+                return [(u, "token", 4) for u in g.neighbors(machine)]
+            return []
+
+        sim.run(step, rounds=5)
+        assert informed == {0, 1, 2, 3, 4}

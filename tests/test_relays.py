@@ -1,0 +1,85 @@
+"""Relay assignment (Lemma 9.2): matching anti-edges to dedicated relays."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.fingerprint_matching import fingerprint_matching
+from repro.coloring.relays import eligible_relays, find_relays
+from repro.decomposition import annotate_with_cabals, compute_acd
+from repro.workloads import cabal_instance
+from tests.conftest import make_runtime
+
+
+def _setup(seed=0, **kw):
+    w = cabal_instance(np.random.default_rng(seed), **kw)
+    runtime = make_runtime(w.graph, seed + 90)
+    acd = annotate_with_cabals(runtime, compute_acd(runtime))
+    return w, runtime, acd
+
+
+class TestEligibleRelays:
+    def test_relay_sees_both_endpoints(self):
+        w, runtime, acd = _setup(seed=1, anti_degree=2)
+        members = acd.cliques[0]
+        found = fingerprint_matching(runtime, 0, members)
+        for pair in found.pairs:
+            for relay in eligible_relays(w.graph, members, pair):
+                assert w.graph.are_adjacent(relay, pair[0])
+                assert w.graph.are_adjacent(relay, pair[1])
+                assert relay not in pair
+
+    def test_dense_cabal_has_many_relays(self):
+        w, runtime, acd = _setup(seed=2, anti_degree=1, clique_size=50)
+        members = acd.cliques[0]
+        found = fingerprint_matching(runtime, 0, members)
+        if found.pairs:
+            pool = eligible_relays(w.graph, members, found.pairs[0])
+            # in an almost-clique nearly everyone can relay
+            assert len(pool) > 0.8 * len(members)
+
+
+class TestFindRelays:
+    def test_assignment_is_injective_and_valid(self):
+        w, runtime, acd = _setup(seed=3, anti_degree=3, clique_size=80)
+        members = acd.cliques[0]
+        found = fingerprint_matching(runtime, 0, members)
+        relays = find_relays(runtime, members, found.pairs)
+        assert len(set(relays.values())) == len(relays)  # distinct relays
+        for i, relay in relays.items():
+            u, v = found.pairs[i]
+            assert w.graph.are_adjacent(relay, u)
+            assert w.graph.are_adjacent(relay, v)
+            assert relay not in (u, v)
+
+    def test_all_pairs_matched_in_dense_cabal(self):
+        """Lemma 9.2's guarantee: with >= k eligible sampled relays per
+        anti-edge and <= k anti-edges, a maximal matching covers all."""
+        w, runtime, acd = _setup(seed=4, anti_degree=2, clique_size=100)
+        members = acd.cliques[0]
+        found = fingerprint_matching(runtime, 0, members)
+        relays = find_relays(runtime, members, found.pairs, sample_factor=6.0)
+        assert len(relays) == len(found.pairs)
+
+    def test_empty_matching(self):
+        w, runtime, acd = _setup(seed=5)
+        assert find_relays(runtime, acd.cliques[0], []) == {}
+
+    def test_charges_rounds(self):
+        w, runtime, acd = _setup(seed=6, anti_degree=2)
+        members = acd.cliques[0]
+        found = fingerprint_matching(runtime, 0, members)
+        before = runtime.ledger.rounds_h
+        find_relays(runtime, members, found.pairs)
+        assert runtime.ledger.rounds_h > before
+
+    def test_relay_pool_exhaustion_drops_pairs_safely(self):
+        """With a tiny relay sample, some anti-edges may stay unmatched --
+        the contract is a partial injective assignment, never an error."""
+        w, runtime, acd = _setup(seed=7, anti_degree=4, clique_size=60)
+        members = acd.cliques[0]
+        found = fingerprint_matching(runtime, 0, members)
+        relays = find_relays(
+            runtime, members, found.pairs, sample_factor=0.05, max_rounds=3
+        )
+        assert len(relays) <= len(found.pairs)
+        assert len(set(relays.values())) == len(relays)

@@ -1,0 +1,128 @@
+"""Workload generators: planted structure, determinism, connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    bridge_pathology,
+    cabal_instance,
+    congest_instance,
+    contraction_instance,
+    figure1_example,
+    high_degree_instance,
+    low_degree_instance,
+    planted_acd_instance,
+    voronoi_instance,
+)
+
+ALL_GENERATORS = [
+    planted_acd_instance,
+    cabal_instance,
+    congest_instance,
+    contraction_instance,
+    voronoi_instance,
+    bridge_pathology,
+    high_degree_instance,
+    low_degree_instance,
+]
+
+
+class TestAllGenerators:
+    @pytest.mark.parametrize("maker", ALL_GENERATORS)
+    def test_valid_cluster_graph(self, maker):
+        w = maker(np.random.default_rng(1))
+        g = w.graph
+        assert g.n_vertices > 0
+        assert g.max_degree >= 1
+        # partition covers all machines with connected clusters (validated
+        # at construction); sanity-check the totals anyway
+        assert sum(g.cluster_size(v) for v in range(g.n_vertices)) == g.n_machines
+
+    @pytest.mark.parametrize("maker", ALL_GENERATORS)
+    def test_deterministic_given_seed(self, maker):
+        a = maker(np.random.default_rng(9))
+        b = maker(np.random.default_rng(9))
+        assert a.graph.n_vertices == b.graph.n_vertices
+        assert sorted(a.graph.iter_h_edges()) == sorted(b.graph.iter_h_edges())
+
+
+class TestPlantedAcd:
+    def test_planted_cliques_are_cliques_minus_anti_edges(self, rng):
+        w = planted_acd_instance(rng, anti_degree=1)
+        g = w.graph
+        for members in w.planted_cliques:
+            for v in members:
+                non_nbrs = [
+                    u for u in members if u != v and not g.are_adjacent(u, v)
+                ]
+                assert len(non_nbrs) <= 1  # anti-degree budget respected
+
+    def test_sparse_part_is_sparse(self, rng):
+        w = planted_acd_instance(rng)
+        g = w.graph
+        clique_size = len(w.planted_cliques[0])
+        degrees = [g.degree(v) for v in w.planted_sparse]
+        # on average well below clique degree (individual outliers allowed)
+        assert np.mean(degrees) < 0.8 * clique_size
+
+    def test_external_degree_knob(self, rng):
+        low = planted_acd_instance(np.random.default_rng(3), external_degree=1)
+        high = planted_acd_instance(np.random.default_rng(3), external_degree=10)
+        def avg_external(w):
+            g = w.graph
+            total = 0
+            count = 0
+            for members in w.planted_cliques:
+                mset = set(members)
+                for v in members:
+                    total += len(g.neighbor_set(v) - mset)
+                    count += 1
+            return total / count
+        assert avg_external(high) > avg_external(low) + 5
+
+
+class TestCabalInstance:
+    def test_anti_degree_knob(self):
+        w = cabal_instance(np.random.default_rng(4), anti_degree=3)
+        g = w.graph
+        anti = []
+        for members in w.planted_cliques:
+            for v in members:
+                anti.append(
+                    sum(1 for u in members if u != v and not g.are_adjacent(u, v))
+                )
+        assert 1.0 <= np.mean(anti) <= 3.0
+
+    def test_tiny_external_degree(self):
+        w = cabal_instance(np.random.default_rng(5))
+        g = w.graph
+        for members in w.planted_cliques:
+            mset = set(members)
+            externals = [len(g.neighbor_set(v) - mset) for v in members]
+            assert np.mean(externals) < 1.0
+
+    def test_single_cabal(self):
+        w = cabal_instance(np.random.default_rng(6), n_cabals=1)
+        assert len(w.planted_cliques) == 1
+
+
+class TestSpecials:
+    def test_figure1_is_connected_4_vertex(self):
+        w = figure1_example()
+        assert w.graph.n_vertices == 4
+        assert w.graph.n_machines == 9
+
+    def test_bridge_has_bridge_dilation(self, rng):
+        w = bridge_pathology(rng)
+        assert w.graph.dilation >= 2  # two stars joined by a bridge
+
+    def test_high_degree_clears_scaled_threshold(self):
+        from repro.params import scaled
+
+        w = high_degree_instance(np.random.default_rng(7), n_vertices=300)
+        assert w.graph.max_degree >= scaled().delta_low(w.graph.n_machines)
+
+    def test_low_degree_is_regular(self):
+        w = low_degree_instance(np.random.default_rng(8), target_degree=6)
+        degrees = {w.graph.degree(v) for v in range(w.graph.n_vertices)}
+        assert degrees == {6}
