@@ -4,33 +4,17 @@ the O(log n)-bit cap (pipelined operations split honestly).
 Claim shape: across every workload family, the ledger's maximum recorded
 message width never exceeds the bandwidth, and total bits per link-round
 stay bounded.
+
+Thin wrapper over the ``e11_bandwidth_compliance`` scenario suite: the six
+workload families are the suite's cells, and the cap is the
+``bandwidth_cap_bits`` metric every cell records.
 """
 
-import numpy as np
 import pytest
 
-from repro import color_cluster_graph
 from repro.metrics import ExperimentRecord
-from repro.params import scaled
-from repro.workloads import (
-    bridge_pathology,
-    cabal_instance,
-    congest_instance,
-    contraction_instance,
-    low_degree_instance,
-    planted_acd_instance,
-)
 
-from _harness import emit
-
-FAMILIES = [
-    ("planted_acd", planted_acd_instance, {}),
-    ("cabal", cabal_instance, {}),
-    ("congest", congest_instance, {}),
-    ("contraction", contraction_instance, {"n": 300}),
-    ("bridge", bridge_pathology, {}),
-    ("low_degree", low_degree_instance, {"n_vertices": 300}),
-]
+from _harness import emit, run_suite_cells
 
 
 @pytest.mark.benchmark(group="e11")
@@ -42,21 +26,18 @@ def test_e11_bandwidth_compliance(benchmark):
     )
 
     def run_all():
-        for name, maker, kw in FAMILIES:
-            w = maker(np.random.default_rng(53), **kw)
-            result = color_cluster_graph(w.graph, seed=6)
-            cap = scaled().bandwidth_bits(w.graph.n_machines)
-            widest = result.ledger_summary["max_message_bits"]
+        for cell_record in run_suite_cells("e11_bandwidth_compliance"):
+            m = cell_record["metrics"]
             record.add_row(
-                family=name,
-                machines=w.graph.n_machines,
-                cap_bits=cap,
-                widest_message=widest,
-                rounds_h=result.rounds_h,
-                proper=result.proper,
+                family=cell_record["cell"]["workload"],
+                machines=m["machines"],
+                cap_bits=m["bandwidth_cap_bits"],
+                widest_message=m["max_message_bits"],
+                rounds_h=m["rounds_h"],
+                proper=m["proper"],
             )
-            assert result.proper
-            assert widest <= cap
+            assert m["proper"]
+            assert m["max_message_bits"] <= m["bandwidth_cap_bits"]
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
     emit(record)

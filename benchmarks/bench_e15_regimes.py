@@ -6,16 +6,16 @@ machinery above (Section 4).  Running all three on the same instance shows
 what each regime's extra machinery buys (or costs) at that scale -- the
 high-degree pipeline's fixed fingerprint overhead is visible, as is the
 low-degree path's dependence on palette-bitmap width.
+
+Thin wrapper over the ``e15_cross_regime`` scenario suite: the
+workload x regime cross product is the suite's grid.
 """
 
-import numpy as np
 import pytest
 
-from repro import color_cluster_graph
 from repro.metrics import ExperimentRecord
-from repro.workloads import cabal_instance, planted_acd_instance
 
-from _harness import emit
+from _harness import emit, run_suite_cells
 
 
 @pytest.mark.benchmark(group="e15")
@@ -27,21 +27,17 @@ def test_e15_regime_comparison(benchmark):
     )
 
     def run_all():
-        for name, w in (
-            ("planted_acd", planted_acd_instance(np.random.default_rng(81))),
-            ("cabal", cabal_instance(np.random.default_rng(82))),
-        ):
-            for regime in ("low_degree", "polylog", "high_degree"):
-                result = color_cluster_graph(w.graph, seed=7, regime=regime)
-                assert result.proper
-                record.add_row(
-                    workload=name,
-                    delta=w.graph.max_degree,
-                    regime=regime,
-                    rounds_h=result.rounds_h,
-                    bits=result.ledger_summary["total_message_bits"],
-                    fallbacks=sum(result.stats.fallbacks.values()),
-                )
+        for cell_record in run_suite_cells("e15_cross_regime"):
+            cell, m = cell_record["cell"], cell_record["metrics"]
+            assert m["proper"]
+            record.add_row(
+                workload=cell["workload"],
+                delta=m["delta"],
+                regime=cell["regime"],
+                rounds_h=m["rounds_h"],
+                bits=m["total_message_bits"],
+                fallbacks=m["fallbacks"],
+            )
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
     record.notes.append(

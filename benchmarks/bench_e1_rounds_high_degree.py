@@ -3,20 +3,21 @@
 Claim shape: H-round count stays essentially flat while n (and Δ) grow by
 an order of magnitude; a log-n-round algorithm would grow visibly, a
 Δ-dependent one drastically.
+
+Thin wrapper over the ``e1_rounds_high_degree`` scenario suite
+(:mod:`repro.experiments`): the grid, execution, and metric extraction live
+in the subsystem; this script keeps the claim assertion and the
+EXPERIMENTS.md table.
 """
 
 import math
 
-import numpy as np
 import pytest
 
-from repro import color_cluster_graph, log_star
+from repro import log_star
 from repro.metrics import ExperimentRecord
-from repro.workloads import high_degree_instance
 
-from _harness import emit
-
-SIZES = (150, 300, 600, 1200)
+from _harness import emit, run_suite_cells
 
 
 @pytest.mark.benchmark(group="e1")
@@ -29,32 +30,29 @@ def test_e1_rounds_flat_in_n(benchmark):
     rounds = {}
 
     def run_all():
-        for n_vertices in SIZES:
-            w = high_degree_instance(
-                np.random.default_rng(5), n_vertices=n_vertices,
-                degree_fraction=0.5, cluster_size=2,
-            )
-            result = color_cluster_graph(w.graph, seed=9)
-            assert result.proper
-            n = w.graph.n_machines
-            rounds[n_vertices] = result.rounds_h
+        for cell_record in run_suite_cells("e1_rounds_high_degree"):
+            n_vertices = cell_record["cell"]["workload_kwargs"]["n_vertices"]
+            m = cell_record["metrics"]
+            assert m["proper"]
+            rounds[n_vertices] = m["rounds_h"]
             record.add_row(
-                machines=n,
-                delta=w.graph.max_degree,
-                regime=result.stats.regime,
-                rounds_h=result.rounds_h,
-                rounds_over_log_n=round(result.rounds_h / math.log2(n), 1),
-                log_star_n=log_star(n),
-                fallbacks=sum(result.stats.fallbacks.values()),
+                machines=m["machines"],
+                delta=m["delta"],
+                regime=m["regime_effective"],
+                rounds_h=m["rounds_h"],
+                rounds_over_log_n=round(m["rounds_h"] / math.log2(m["machines"]), 1),
+                log_star_n=log_star(m["machines"]),
+                fallbacks=m["fallbacks"],
             )
         return rounds
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
+    sizes = sorted(rounds)
     # flat within 40% while n grows 8x (log n would grow 1.6x here, but the
     # point is that rounds do not track Delta, which grows 8x)
-    assert rounds[SIZES[-1]] < 1.4 * rounds[SIZES[0]]
+    assert rounds[sizes[-1]] < 1.4 * rounds[sizes[0]]
     record.notes.append(
-        f"n grew {SIZES[-1] // SIZES[0]}x, rounds changed "
-        f"{rounds[SIZES[-1]] / rounds[SIZES[0]]:.2f}x -- log*-flat shape holds"
+        f"n grew {sizes[-1] // sizes[0]}x, rounds changed "
+        f"{rounds[sizes[-1]] / rounds[sizes[0]]:.2f}x -- log*-flat shape holds"
     )
     emit(record)

@@ -10,3 +10,4 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def pytest_sessionstart(session):
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "records.txt").write_text("")
+    (RESULTS_DIR / "records.jsonl").write_text("")

@@ -10,12 +10,19 @@ Commands
 ``sketch``
     Fingerprint-estimator demo (Lemma 5.2): estimate a hidden count.
 ``workloads``
-    List the available instance generators.
+    List the available instance generators (``--json`` for machines).
+``sweep``
+    Run a named scenario suite in parallel, write a JSONL artifact.
+``report``
+    Summarize a sweep artifact (mean/p50/p95 per cell group, CSV export).
+``compare``
+    Gate one sweep artifact against a baseline; exit 1 on regression.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -23,29 +30,7 @@ import numpy as np
 from repro import color_cluster_graph
 from repro.metrics import format_table
 from repro.params import paper, scaled
-from repro.workloads import (
-    bridge_pathology,
-    cabal_instance,
-    congest_instance,
-    contraction_instance,
-    figure1_example,
-    high_degree_instance,
-    low_degree_instance,
-    planted_acd_instance,
-    voronoi_instance,
-)
-
-GENERATORS = {
-    "planted_acd": planted_acd_instance,
-    "cabal": cabal_instance,
-    "congest": congest_instance,
-    "contraction": contraction_instance,
-    "voronoi": voronoi_instance,
-    "bridge": bridge_pathology,
-    "high_degree": high_degree_instance,
-    "low_degree": low_degree_instance,
-    "figure1": lambda _rng: figure1_example(),
-}
+from repro.workloads import GENERATORS
 
 
 def _build_workload(args) -> object:
@@ -137,7 +122,7 @@ def _cmd_sketch(args) -> int:
     return 0
 
 
-def _cmd_workloads(_args) -> int:
+def _cmd_workloads(args) -> int:
     rows = []
     for name, maker in GENERATORS.items():
         w = maker(np.random.default_rng(0))
@@ -147,11 +132,111 @@ def _cmd_workloads(_args) -> int:
                 "machines": w.graph.n_machines,
                 "vertices": w.graph.n_vertices,
                 "Delta": w.graph.max_degree,
-                "notes": w.notes[:60],
+                "dilation": w.graph.dilation,
+                "notes": w.notes if args.json else w.notes[:60],
             }
         )
-    print(format_table(rows))
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(format_table(rows))
     return 0
+
+
+# ---- experiment orchestration (repro.experiments) ---------------------------
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments import SUITES, read_artifact, run_sweep, summarize
+
+    spec = SUITES[args.suite]
+    cells = spec.cells()
+    progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
+    if not args.quiet:
+        print(
+            f"suite {spec.name!r}: {len(cells)} cells, jobs={args.jobs} "
+            f"({spec.description})",
+            file=sys.stderr,
+        )
+    path, records = run_sweep(
+        spec,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        out_path=args.out,
+        progress=progress,
+    )
+    print(format_table(summarize(read_artifact(path))))
+    failed = [r for r in records if r["status"] != "ok"]
+    print(f"artifact: {path}  ({len(records)} cells, {len(failed)} failed)")
+    from repro.experiments.runner import error_summary
+
+    for record in failed:
+        print(f"  {record['status']}: {record['cell']['workload']} -- "
+              f"{error_summary(record['error'])}")
+    return 1 if failed else 0
+
+
+def _read_artifact_or_exit(path: str):
+    from repro.experiments import read_artifact
+
+    try:
+        return read_artifact(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro: cannot read artifact {path}: {exc}") from exc
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import summarize, to_csv
+
+    artifact = _read_artifact_or_exit(args.artifact)
+    header = artifact.header
+    print(
+        f"suite={artifact.suite} spec_hash={artifact.spec_hash} "
+        f"git_rev={header.get('git_rev')} created={header.get('created_utc')} "
+        f"cells={len(artifact.records)}"
+    )
+    if args.group_by:
+        valid = {"suite", "workload", "workload_kwargs", "params", "regime",
+                 "algorithm", "seed", "instance_seed"}
+        group_by = tuple(f.strip() for f in args.group_by.split(",") if f.strip())
+        unknown = [f for f in group_by if f not in valid]
+        if unknown:
+            raise SystemExit(
+                f"repro: unknown group-by field(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(valid))}"
+            )
+        rows = summarize(artifact, group_by)
+    else:
+        rows = summarize(artifact)
+    print(format_table(rows))
+    if args.csv:
+        path = to_csv(artifact, args.csv)
+        print(f"csv: {path}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.experiments import (
+        compare_artifacts,
+        parse_tolerance_overrides,
+        render_report,
+    )
+
+    baseline = _read_artifact_or_exit(args.baseline)
+    candidate = _read_artifact_or_exit(args.candidate)
+    if baseline.spec_hash != candidate.spec_hash:
+        print(
+            f"warning: spec hashes differ ({baseline.spec_hash} vs "
+            f"{candidate.spec_hash}); only overlapping cells are gated",
+            file=sys.stderr,
+        )
+    try:
+        tolerances = parse_tolerance_overrides(args.tolerance)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}") from exc
+    report = compare_artifacts(baseline, candidate, tolerances)
+    print(render_report(report))
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -189,7 +274,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_sketch.set_defaults(func=_cmd_sketch)
 
     p_list = sub.add_parser("workloads", help="list instance generators")
+    p_list.add_argument(
+        "--json", action="store_true", help="machine-readable JSON instead of a table"
+    )
     p_list.set_defaults(func=_cmd_workloads)
+
+    from repro.experiments.spec import SUITES
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a scenario suite, write a JSONL artifact"
+    )
+    p_sweep.add_argument("--suite", choices=sorted(SUITES), default="smoke")
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (<=1 runs serially in-process)",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock budget in seconds (0 disables; "
+        "default: the suite's own budget)",
+    )
+    p_sweep.add_argument(
+        "--out", default=None,
+        help="artifact path (default: benchmarks/results/sweep-<suite>-<ts>.jsonl)",
+    )
+    p_sweep.add_argument("--quiet", action="store_true", help="no progress stream")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_report = sub.add_parser("report", help="summarize a sweep artifact")
+    p_report.add_argument("artifact")
+    p_report.add_argument("--csv", default=None, help="also export raw cells as CSV")
+    p_report.add_argument(
+        "--group-by", default=None,
+        help="comma-separated cell fields to group on "
+        "(default: workload,workload_kwargs,params,regime,algorithm)",
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    p_compare = sub.add_parser(
+        "compare", help="gate a candidate artifact against a baseline"
+    )
+    p_compare.add_argument("baseline")
+    p_compare.add_argument("candidate")
+    p_compare.add_argument(
+        "--tolerance", action="append", default=[], metavar="METRIC=FRACTION",
+        help="override a relative tolerance (repeatable), e.g. rounds_h=0.1",
+    )
+    p_compare.set_defaults(func=_cmd_compare)
     return parser
 
 

@@ -1,0 +1,295 @@
+"""Parallel sweep execution.
+
+Expands a :class:`~repro.experiments.spec.ScenarioSpec` into cells and runs
+them either serially in-process (``jobs <= 1``: no pool overhead, exact
+tracebacks -- what the benchmark wrappers use) or across a
+``ProcessPoolExecutor``.  Each cell is independent and deterministic given
+its seeds, so parallel execution cannot change any measured number.
+
+Failure discipline: a cell that raises is captured as a ``status="error"``
+record with its traceback; a cell that exceeds its wall-clock budget is
+interrupted via ``SIGALRM`` (POSIX) and recorded as ``status="timeout"``.
+The sweep itself always completes and always writes an artifact -- partial
+data beats no data when a 200-cell sweep hits one pathological instance.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import signal
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable
+
+import numpy as np
+
+# Algorithm imports happen here, at module level, NOT inside the timed cell:
+# a SIGALRM raised during a first-time import would leave a half-initialized
+# module poisoning sys.modules for every later cell in the worker process.
+from repro import color_cluster_graph
+from repro.baselines import (
+    local_gather_coloring,
+    luby_coloring,
+    palette_sparsification_coloring,
+)
+import repro.coloring.polylog  # noqa: F401  (lazily imported by the pipeline)
+from repro.experiments import artifacts
+from repro.experiments.spec import Cell, ScenarioSpec
+from repro.params import paper, scaled
+from repro.workloads import GENERATORS
+
+ProgressFn = Callable[[str], None]
+
+
+class CellTimeout(Exception):
+    """A cell exceeded its wall-clock budget."""
+
+
+# The SIGALRM handler only raises while this flag is armed, so a late
+# re-fire landing inside run_cell's own except/finally bookkeeping cannot
+# escape the function (run_cell promises to never raise).
+_alarm_state = {"armed": False}
+
+
+def _alarm_handler(signum, frame):  # pragma: no cover - fires only on timeout
+    if _alarm_state["armed"]:
+        raise CellTimeout()
+
+
+def _disarm_alarm() -> None:
+    _alarm_state["armed"] = False
+    signal.setitimer(signal.ITIMER_REAL, 0)
+
+
+def error_summary(error: str | None) -> str:
+    """Last non-empty traceback line, for one-line failure summaries."""
+    lines = (error or "").strip().splitlines()
+    return lines[-1] if lines else "?"
+
+
+def _build_workload(cell: Cell):
+    maker = GENERATORS[cell.workload]
+    rng = np.random.default_rng(cell.instance_seed)
+    return maker(rng, **dict(cell.workload_kwargs))
+
+
+def _params(cell: Cell):
+    if cell.params == "paper":
+        return paper()
+    if cell.params == "scaled":
+        return scaled()
+    raise ValueError(f"unknown params preset {cell.params!r}")
+
+
+def _execute(cell: Cell) -> dict[str, Any]:
+    """Run one cell's algorithm and extract its metric dict."""
+    workload = _build_workload(cell)
+    graph = workload.graph
+    params = _params(cell)
+    metrics: dict[str, Any] = {
+        "machines": graph.n_machines,
+        "vertices": graph.n_vertices,
+        "delta": graph.max_degree,
+        "dilation": graph.dilation,
+        "bandwidth_cap_bits": params.bandwidth_bits(graph.n_machines),
+        "num_colors": graph.max_degree + 1,
+    }
+    if cell.algorithm == "paper":
+        result = color_cluster_graph(
+            graph, params=params, seed=cell.seed, regime=cell.regime
+        )
+        metrics.update(
+            regime_effective=result.stats.regime,
+            rounds_h=result.rounds_h,
+            rounds_g=result.rounds_g,
+            total_message_bits=result.ledger_summary["total_message_bits"],
+            max_message_bits=result.ledger_summary["max_message_bits"],
+            colors_used=len(set(result.colors.tolist())),
+            proper=bool(result.proper),
+            fallbacks=int(sum(result.stats.fallbacks.values())),
+            retries=int(sum(result.stats.retries.values())),
+        )
+    else:
+        comparators = {
+            "luby": luby_coloring,
+            "palette_sparsification": palette_sparsification_coloring,
+            "local_gather": local_gather_coloring,
+        }
+        try:
+            fn = comparators[cell.algorithm]
+        except KeyError:
+            raise ValueError(f"unknown algorithm {cell.algorithm!r}") from None
+        result = fn(graph, params=params, seed=cell.seed)
+        metrics.update(
+            regime_effective="baseline",
+            rounds_h=int(result.rounds_h),
+            rounds_g=int(result.rounds_g),
+            total_message_bits=int(result.total_message_bits),
+            max_message_bits=None,
+            colors_used=len(set(np.asarray(result.colors).tolist())),
+            proper=bool(result.proper),
+            fallbacks=int(result.fallback_vertices),
+            retries=0,
+        )
+    return metrics
+
+
+def run_cell(cell_dict: dict[str, Any], timeout_s: float | None = None) -> dict[str, Any]:
+    """Execute one cell (module-level so worker processes can pickle it).
+
+    Returns an artifact-ready record; never raises.
+    """
+    try:
+        return _run_cell_timed(cell_dict, timeout_s)
+    except CellTimeout:
+        # a late interval re-fire escaped _run_cell_timed's own except
+        # blocks before they could disarm; the timer is off by now (the
+        # inner finally ran while the exception propagated)
+        _disarm_alarm()
+        cell = Cell.from_dict(cell_dict)
+        return {
+            "kind": "cell",
+            "key": cell.key(),
+            "cell": cell.to_dict(),
+            "status": "timeout",
+            "metrics": {},
+            "wall_time_s": None,
+            "error": f"cell exceeded {timeout_s:g}s budget",
+        }
+
+
+def _run_cell_timed(cell_dict: dict[str, Any], timeout_s: float | None) -> dict[str, Any]:
+    cell = Cell.from_dict(cell_dict)
+    record: dict[str, Any] = {
+        "kind": "cell",
+        "key": cell.key(),
+        "cell": cell.to_dict(),
+        "status": "ok",
+        "metrics": {},
+        "wall_time_s": None,
+        "error": None,
+    }
+    use_alarm = timeout_s is not None and timeout_s > 0 and hasattr(signal, "SIGALRM")
+    previous = None
+    start = time.perf_counter()
+    try:
+        if use_alarm:
+            previous = signal.signal(signal.SIGALRM, _alarm_handler)
+            _alarm_state["armed"] = True
+            # re-fire until the raise escapes: a one-shot alarm can be
+            # swallowed by a broad `except` deep in library code, and the
+            # cell would then run to completion despite its budget
+            signal.setitimer(signal.ITIMER_REAL, timeout_s, min(timeout_s, 0.1))
+        metrics = _execute(cell)
+        if use_alarm:
+            _disarm_alarm()
+        record["metrics"] = metrics
+    except CellTimeout:
+        _disarm_alarm()
+        record["status"] = "timeout"
+        record["error"] = f"cell exceeded {timeout_s:g}s budget"
+    except Exception:
+        if use_alarm:
+            _disarm_alarm()
+        record["status"] = "error"
+        record["error"] = traceback.format_exc(limit=20)
+    finally:
+        if use_alarm:
+            _disarm_alarm()
+            if previous is not None:  # handler install itself may have failed
+                signal.signal(signal.SIGALRM, previous)
+        record["wall_time_s"] = round(time.perf_counter() - start, 4)
+    return record
+
+
+def _progress_line(record: dict[str, Any], done: int, total: int) -> str:
+    cell = Cell.from_dict(record["cell"])
+    status = record["status"]
+    if status == "ok":
+        m = record["metrics"]
+        tail = (
+            f"rounds_h={m['rounds_h']} bits={m['total_message_bits']} "
+            f"proper={m['proper']}"
+        )
+    else:
+        tail = status.upper()
+    wall = record["wall_time_s"]
+    timing = f"  ({wall:.2f}s)" if wall is not None else ""
+    return f"[{done}/{total}] {cell.label()}  {tail}{timing}"
+
+
+def run_suite(
+    spec: ScenarioSpec,
+    *,
+    jobs: int = 1,
+    timeout_s: float | None = None,
+    progress: ProgressFn | None = None,
+) -> list[dict[str, Any]]:
+    """Run every cell of ``spec``; returns records in grid order.
+
+    ``jobs <= 1`` runs serially in-process.  ``timeout_s=None`` uses the
+    spec's ``cell_timeout_s``; pass ``0`` to disable timeouts entirely.
+    """
+    cells = spec.cells()
+    if timeout_s is None:
+        timeout_s = spec.cell_timeout_s
+    total = len(cells)
+    emit = progress or (lambda _line: None)
+    results: list[dict[str, Any] | None] = [None] * total
+
+    if jobs <= 1 or total <= 1:
+        for i, cell in enumerate(cells):
+            record = run_cell(cell.to_dict(), timeout_s)
+            results[i] = record
+            emit(_progress_line(record, sum(r is not None for r in results), total))
+        return [r for r in results if r is not None]
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        pending = {
+            pool.submit(run_cell, cell.to_dict(), timeout_s): i
+            for i, cell in enumerate(cells)
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                try:
+                    record = future.result()
+                except Exception:  # worker died (OOM, hard crash)
+                    record = {
+                        "kind": "cell",
+                        "key": cells[index].key(),
+                        "cell": cells[index].to_dict(),
+                        "status": "error",
+                        "metrics": {},
+                        "wall_time_s": None,
+                        "error": traceback.format_exc(limit=5),
+                    }
+                results[index] = record
+                emit(
+                    _progress_line(
+                        record, sum(r is not None for r in results), total
+                    )
+                )
+    return [r for r in results if r is not None]
+
+
+def run_sweep(
+    spec: ScenarioSpec,
+    *,
+    jobs: int = 1,
+    timeout_s: float | None = None,
+    out_path: str | pathlib.Path | None = None,
+    progress: ProgressFn | None = None,
+) -> tuple[pathlib.Path, list[dict[str, Any]]]:
+    """Run a suite and persist the artifact; returns (path, records)."""
+    records = run_suite(spec, jobs=jobs, timeout_s=timeout_s, progress=progress)
+    header = artifacts.make_header(
+        spec.name,
+        spec.spec_hash(),
+        extra={"description": spec.description, "jobs": jobs, "n_cells": len(records)},
+    )
+    path = pathlib.Path(out_path) if out_path else artifacts.default_artifact_path(spec.name)
+    artifacts.write_artifact(path, header, records)
+    return path, records

@@ -1,0 +1,485 @@
+"""Declarative scenario specifications for experiment sweeps.
+
+A :class:`ScenarioSpec` names a grid of cells -- workload x params-preset x
+regime x algorithm x seed -- and expands it deterministically.  The paper's
+claims are sweep-shaped (rounds and bandwidth vs. Delta, dilation, regime,
+and seed), so every experiment in ``benchmarks/`` corresponds to a named
+built-in suite here, plus cross-regime and dilation-stress suites that no
+single ``bench_e*`` script covered.
+
+Cells carry everything a worker process needs to reproduce one run, and a
+stable string key so artifact files from different commits can be aligned
+cell-by-cell (see :mod:`repro.experiments.compare`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Algorithms a cell may dispatch to.  ``paper`` is the full pipeline of
+#: Algorithm 3; the rest are the Experiment E13 comparators.
+ALGORITHMS = ("paper", "luby", "palette_sparsification", "local_gather")
+
+
+def _canonical(obj: Any) -> str:
+    """Deterministic JSON rendering used for hashes and cell keys."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload generator invocation: registry name plus kwargs.
+
+    ``instance_seed`` pins this workload to one specific instance draw,
+    overriding the spec-level ``instance_seeds`` axis -- needed when a
+    historical experiment measured a particular instance (e.g. E15's
+    cabal graph was always drawn with seed 82).
+    """
+
+    name: str
+    kwargs: tuple[tuple[str, Any], ...] = ()
+    instance_seed: int | None = None
+
+    @staticmethod
+    def of(name: str, *, instance_seed: int | None = None, **kwargs: Any) -> "WorkloadSpec":
+        return WorkloadSpec(name, tuple(sorted(kwargs.items())), instance_seed)
+
+    def kwargs_dict(self) -> dict[str, Any]:
+        return dict(self.kwargs)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One executable point of a sweep grid."""
+
+    suite: str
+    workload: str
+    workload_kwargs: tuple[tuple[str, Any], ...]
+    params: str  # "scaled" | "paper"
+    regime: str  # "auto" | "high_degree" | "polylog" | "low_degree"
+    algorithm: str  # one of ALGORITHMS
+    seed: int
+    instance_seed: int
+
+    def key(self) -> str:
+        """Stable identity used to align cells across artifact files.
+
+        Deliberately excludes the suite name: the same cell reached through
+        two different suites is the same measurement.
+        """
+        return _canonical(
+            {
+                "workload": self.workload,
+                "kwargs": dict(self.workload_kwargs),
+                "params": self.params,
+                "regime": self.regime,
+                "algorithm": self.algorithm,
+                "seed": self.seed,
+                "instance_seed": self.instance_seed,
+            }
+        )
+
+    def label(self) -> str:
+        """Short human-readable cell name for progress lines."""
+        kw = ",".join(f"{k}={v}" for k, v in self.workload_kwargs)
+        base = f"{self.workload}({kw})" if kw else self.workload
+        algo = "" if self.algorithm == "paper" else f" algo={self.algorithm}"
+        return (
+            f"{base} params={self.params} regime={self.regime}{algo} "
+            f"seed={self.seed}/{self.instance_seed}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "workload": self.workload,
+            "workload_kwargs": dict(self.workload_kwargs),
+            "params": self.params,
+            "regime": self.regime,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "instance_seed": self.instance_seed,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "Cell":
+        return Cell(
+            suite=data["suite"],
+            workload=data["workload"],
+            workload_kwargs=tuple(sorted(data.get("workload_kwargs", {}).items())),
+            params=data["params"],
+            regime=data["regime"],
+            algorithm=data.get("algorithm", "paper"),
+            seed=int(data["seed"]),
+            instance_seed=int(data["instance_seed"]),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named grid of cells: the cross product of every axis below."""
+
+    name: str
+    description: str = ""
+    workloads: tuple[WorkloadSpec, ...] = ()
+    presets: tuple[str, ...] = ("scaled",)
+    regimes: tuple[str, ...] = ("auto",)
+    algorithms: tuple[str, ...] = ("paper",)
+    seeds: tuple[int, ...] = (0,)
+    instance_seeds: tuple[int, ...] = (0,)
+    #: Suggested per-cell wall-clock budget (the runner's default timeout).
+    cell_timeout_s: float = 120.0
+
+    def cells(self) -> list[Cell]:
+        """Expand the grid, in deterministic order."""
+        return list(self._iter_cells())
+
+    def _iter_cells(self) -> Iterator[Cell]:
+        for w in self.workloads:
+            instance_seeds = (
+                (w.instance_seed,) if w.instance_seed is not None
+                else self.instance_seeds
+            )
+            for preset in self.presets:
+                for regime in self.regimes:
+                    for algorithm in self.algorithms:
+                        for instance_seed in instance_seeds:
+                            for seed in self.seeds:
+                                yield Cell(
+                                    suite=self.name,
+                                    workload=w.name,
+                                    workload_kwargs=w.kwargs,
+                                    params=preset,
+                                    regime=regime,
+                                    algorithm=algorithm,
+                                    seed=seed,
+                                    instance_seed=instance_seed,
+                                )
+
+    def spec_hash(self) -> str:
+        """Short content hash of the grid: two artifacts are comparable
+        cell-for-cell when their spec hashes match."""
+        payload = _canonical([c.key() for c in self.cells()])
+        return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "n_cells": len(self.cells()),
+            "spec_hash": self.spec_hash(),
+        }
+
+
+def _sizes(name: str, sizes: tuple[int, ...], **common: Any) -> tuple[WorkloadSpec, ...]:
+    return tuple(WorkloadSpec.of(name, n_vertices=s, **common) for s in sizes)
+
+
+# ---------------------------------------------------------------------------
+# Built-in suites.
+#
+# One suite per benchmarks/bench_e*.py experiment (same workload families and
+# grids, so the orchestrated sweep measures the scenario each experiment
+# stresses), plus cross-cutting suites the scripts never had: ``smoke``
+# (CI-fast), ``cross_regime`` and ``dilation_stress``, and ``full``.
+# ---------------------------------------------------------------------------
+
+SUITES: dict[str, ScenarioSpec] = {}
+
+
+def _register(spec: ScenarioSpec) -> ScenarioSpec:
+    if spec.name in SUITES:
+        raise ValueError(f"duplicate suite {spec.name!r}")
+    SUITES[spec.name] = spec
+    return spec
+
+
+_register(
+    ScenarioSpec(
+        name="smoke",
+        description="CI-fast end-to-end sweep: one small instance per family",
+        workloads=(
+            WorkloadSpec.of("figure1"),
+            WorkloadSpec.of("congest", n=80),
+            WorkloadSpec.of(
+                "low_degree", n_vertices=150, target_degree=6, cluster_size=2
+            ),
+            WorkloadSpec.of("cabal", n_cabals=2, clique_size=24),
+        ),
+        seeds=(0, 1),
+        cell_timeout_s=60.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e1_rounds_high_degree",
+        description="Theorem 1.2: H-rounds stay log*-flat while n and Delta grow",
+        workloads=_sizes(
+            "high_degree", (150, 300, 600, 1200), degree_fraction=0.5, cluster_size=2
+        ),
+        seeds=(9,),
+        instance_seeds=(5,),
+        cell_timeout_s=300.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e2_rounds_low_degree",
+        description="Theorem 1.1: shattering path, rounds ~ polyloglog n",
+        workloads=_sizes(
+            "low_degree",
+            (250, 500, 1000, 2000, 4000),
+            target_degree=8,
+            cluster_size=2,
+            topology="star",
+        ),
+        seeds=(4,),
+        instance_seeds=(6,),
+        cell_timeout_s=300.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e3_fingerprint_stress",
+        description="Lemma 5.2/5.7 machinery under the high-degree pipeline",
+        workloads=(
+            WorkloadSpec.of("congest", n=300),
+            WorkloadSpec.of("planted_acd"),
+        ),
+        regimes=("high_degree",),
+        seeds=(0, 1, 2),
+        instance_seeds=(17,),
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e4_encoding_scaling",
+        description="Lemma 5.6 encoding cost as n grows (congest identity clusters)",
+        workloads=tuple(WorkloadSpec.of("congest", n=n) for n in (150, 300, 600)),
+        regimes=("high_degree",),
+        seeds=(0, 1),
+        instance_seeds=(23,),
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e5_unique_maximum",
+        description="Synchronized color trial stress: dense cabals",
+        workloads=(WorkloadSpec.of("cabal", n_cabals=3, clique_size=60),),
+        seeds=(0, 1, 2),
+        instance_seeds=(29,),
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e6_acd_quality",
+        description="Algorithm 4 on planted ACDs across instance draws",
+        workloads=(WorkloadSpec.of("planted_acd"),),
+        seeds=(0,),
+        instance_seeds=(31, 32, 33),
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e7_cabal_matching",
+        description="Prop 4.15 colorful matching: cabals with growing anti-degree",
+        workloads=tuple(
+            WorkloadSpec.of(
+                "cabal", n_cabals=2, clique_size=160, anti_degree=a, cluster_size=1
+            )
+            for a in (1, 2, 4)
+        ),
+        seeds=(41,),
+        cell_timeout_s=300.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e8_put_aside",
+        description="Section 4 put-aside machinery on cabal-heavy instances",
+        workloads=tuple(
+            WorkloadSpec.of("cabal", n_cabals=2, clique_size=s) for s in (60, 120)
+        ),
+        seeds=(0, 1),
+        instance_seeds=(31,),
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e9_slack_generation",
+        description="Algorithm 18 slack: planted ACDs across clique sizes",
+        workloads=tuple(
+            WorkloadSpec.of("planted_acd", clique_size=s) for s in (30, 50, 80)
+        ),
+        seeds=(0,),
+        instance_seeds=(41,),
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e10_sct",
+        description="Support-tree communication: bridge pathology and Voronoi clusters",
+        workloads=(
+            WorkloadSpec.of("bridge"),
+            WorkloadSpec.of("voronoi", n=400, n_clusters=100),
+        ),
+        seeds=(0, 1),
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e11_bandwidth_compliance",
+        description="Model compliance across every workload family",
+        workloads=(
+            WorkloadSpec.of("planted_acd"),
+            WorkloadSpec.of("cabal"),
+            WorkloadSpec.of("congest"),
+            WorkloadSpec.of("contraction", n=300),
+            WorkloadSpec.of("bridge"),
+            WorkloadSpec.of("low_degree", n_vertices=300),
+        ),
+        seeds=(6,),
+        instance_seeds=(53,),
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e12_dilation",
+        description="Thm 1.1/1.2 d-dependency: same conflict graph, longer support paths",
+        workloads=tuple(
+            WorkloadSpec.of(
+                "high_degree",
+                n_vertices=150,
+                degree_fraction=0.4,
+                cluster_size=cs,
+                topology=topo,
+            )
+            for cs, topo in ((2, "star"), (4, "path"), (8, "path"), (16, "path"))
+        ),
+        seeds=(12,),
+        instance_seeds=(3,),
+        cell_timeout_s=300.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e13_baselines",
+        description="Positioning vs. [FGH+24]/[Joh99]: all comparators on a Delta sweep",
+        workloads=_sizes(
+            "high_degree", (200, 500, 1000, 1600), degree_fraction=0.55, cluster_size=1
+        ),
+        algorithms=ALGORITHMS,
+        seeds=(3,),
+        instance_seeds=(61,),
+        cell_timeout_s=300.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e14_distance2",
+        description="Distance-2 flavored stress: contraction clusters",
+        workloads=tuple(
+            WorkloadSpec.of("contraction", n=n, fraction=0.5) for n in (300, 600)
+        ),
+        seeds=(0, 1),
+        instance_seeds=(71,),
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="e15_cross_regime",
+        description="All three pipelines forced on the same instances",
+        workloads=(
+            # the historical bench drew these two specific instances
+            WorkloadSpec.of("planted_acd", instance_seed=81),
+            WorkloadSpec.of("cabal", instance_seed=82),
+        ),
+        regimes=("low_degree", "polylog", "high_degree"),
+        seeds=(7,),
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="cross_regime",
+        description="Regime dispatch audit: every family under every forced regime",
+        workloads=(
+            WorkloadSpec.of("planted_acd"),
+            WorkloadSpec.of("cabal"),
+            WorkloadSpec.of("congest", n=200),
+            WorkloadSpec.of("low_degree", n_vertices=300),
+            WorkloadSpec.of("bridge"),
+        ),
+        regimes=("auto", "low_degree", "polylog", "high_degree"),
+        seeds=(0, 1),
+        cell_timeout_s=300.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="dilation_stress",
+        description="Dilation sweep beyond E12: path/bridge clusters, both density regimes",
+        workloads=tuple(
+            WorkloadSpec.of(
+                "high_degree",
+                n_vertices=120,
+                degree_fraction=0.4,
+                cluster_size=cs,
+                topology="path",
+            )
+            for cs in (2, 6, 12, 24)
+        )
+        + tuple(
+            WorkloadSpec.of(
+                "low_degree",
+                n_vertices=240,
+                target_degree=8,
+                cluster_size=cs,
+                topology="path",
+            )
+            for cs in (3, 9, 18)
+        ),
+        seeds=(0, 1),
+        cell_timeout_s=300.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="full",
+        description="Every workload family, auto regime, three seeds",
+        workloads=(
+            WorkloadSpec.of("planted_acd"),
+            WorkloadSpec.of("cabal"),
+            WorkloadSpec.of("congest"),
+            WorkloadSpec.of("contraction"),
+            WorkloadSpec.of("voronoi"),
+            WorkloadSpec.of("bridge"),
+            WorkloadSpec.of("high_degree"),
+            WorkloadSpec.of("low_degree"),
+            WorkloadSpec.of("figure1"),
+        ),
+        seeds=(0, 1, 2),
+        instance_seeds=(0,),
+        cell_timeout_s=600.0,
+    )
+)

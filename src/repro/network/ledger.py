@@ -114,6 +114,24 @@ class BandwidthLedger:
         -------
         int
             The number of H-rounds actually charged (after pipelining).
+
+        Notes
+        -----
+        Accounting invariants (relied on by the experiment artifacts):
+
+        * **Rounds measure time** and therefore include pipelining: both the
+          ledger totals and ``per_op_rounds`` accumulate the *effective*
+          (post-splitting) H-rounds, so
+          ``sum(per_op_rounds.values()) == rounds_h`` always holds.
+        * **Bits measure payload** and are therefore pipelining-invariant:
+          splitting a wide message into cap-sized pieces repartitions the
+          same ``message_bits * rounds_h`` payload over more rounds without
+          creating bits.  Both ``total_message_bits`` and ``per_op_bits``
+          accumulate that same quantity, so
+          ``sum(per_op_bits.values()) == total_message_bits`` always holds.
+        * A charge with ``rounds_h == 0`` but positive ``message_bits``
+          accounts its payload once (it models data riding along an
+          already-charged round).
         """
         if message_bits < 0 or rounds_h < 0:
             raise ValueError("negative cost")
@@ -128,15 +146,16 @@ class BandwidthLedger:
             pipelined = True
         effective_rounds_h = rounds_h * (pieces if pipelined else 1)
         d = self.dilation if depth is None else max(1, depth)
+        bits_charged = message_bits * max(1, rounds_h)
         self.rounds_h += effective_rounds_h
         self.rounds_g += effective_rounds_h * d
-        self.total_message_bits += message_bits * max(1, rounds_h)
+        self.total_message_bits += bits_charged
         self.max_message_bits = max(
             self.max_message_bits, min(message_bits, self.bandwidth_bits)
         )
         self.num_operations += 1
         self.per_op_rounds[op] += effective_rounds_h
-        self.per_op_bits[op] += message_bits
+        self.per_op_bits[op] += bits_charged
         return effective_rounds_h
 
     def charge_local(self, op: str) -> None:

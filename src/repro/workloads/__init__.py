@@ -1,6 +1,7 @@
 """Instance generators with planted ground truth (see DESIGN.md Section 2)."""
 
 from repro.workloads.generators import (
+    GENERATORS,
     Workload,
     bridge_pathology,
     cabal_instance,
@@ -14,6 +15,7 @@ from repro.workloads.generators import (
 )
 
 __all__ = [
+    "GENERATORS",
     "Workload",
     "bridge_pathology",
     "cabal_instance",

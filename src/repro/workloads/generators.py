@@ -244,10 +244,14 @@ def voronoi_instance(
     )
 
 
-def figure1_example() -> Workload:
+def figure1_example(rng: np.random.Generator | None = None) -> Workload:
     """The 4-cluster illustration of Figure 1: a communication graph whose
     clusters form a path-with-chord conflict graph, including a doubly-linked
     cluster pair (the degree-overcounting hazard of Section 1.1).
+
+    The instance is hand-built and fully deterministic; ``rng`` is accepted
+    (and unused) so the generator has the same ``(rng, **kwargs)`` signature
+    as every other registry entry.
     """
     # Machines 0-2: cluster A (path); 3-5: cluster B (star); 6-7: cluster C;
     # 8: cluster D (singleton).  B-C realized by two distinct links.
@@ -345,3 +349,19 @@ def low_degree_instance(
         expected_regime="low_degree",
         notes=f"{d}-regular conflict graph on {n_vertices} vertices",
     )
+
+
+#: Registry of every generator under its workload name -- the single place
+#: the CLI and the experiments subsystem resolve workload names.  Every
+#: entry has the uniform signature ``maker(rng, **kwargs)``.
+GENERATORS = {
+    "planted_acd": planted_acd_instance,
+    "cabal": cabal_instance,
+    "congest": congest_instance,
+    "contraction": contraction_instance,
+    "voronoi": voronoi_instance,
+    "bridge": bridge_pathology,
+    "high_degree": high_degree_instance,
+    "low_degree": low_degree_instance,
+    "figure1": figure1_example,
+}

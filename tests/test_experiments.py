@@ -1,0 +1,444 @@
+"""The experiment orchestration subsystem: specs, runner, artifacts, gating."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SUITES,
+    Cell,
+    ScenarioSpec,
+    WorkloadSpec,
+    compare_artifacts,
+    parse_tolerance_overrides,
+    read_artifact,
+    render_report,
+    run_cell,
+    run_suite,
+    run_sweep,
+    summarize,
+    to_csv,
+)
+from repro.experiments.artifacts import Artifact, make_header, write_artifact
+
+TINY = ScenarioSpec(
+    name="tiny",
+    workloads=(
+        WorkloadSpec.of("figure1"),
+        WorkloadSpec.of("low_degree", n_vertices=60, target_degree=4, cluster_size=1),
+    ),
+    seeds=(0, 1),
+)
+
+
+class TestSpec:
+    def test_grid_expansion_is_cross_product(self):
+        spec = ScenarioSpec(
+            name="x",
+            workloads=(WorkloadSpec.of("figure1"), WorkloadSpec.of("congest", n=50)),
+            presets=("scaled",),
+            regimes=("auto", "low_degree"),
+            seeds=(0, 1, 2),
+            instance_seeds=(7,),
+        )
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 3
+        assert len({c.key() for c in cells}) == len(cells)
+
+    def test_expansion_is_deterministic(self):
+        assert [c.key() for c in TINY.cells()] == [c.key() for c in TINY.cells()]
+        assert TINY.spec_hash() == TINY.spec_hash()
+
+    def test_spec_hash_tracks_grid_changes(self):
+        other = ScenarioSpec(
+            name="tiny", workloads=TINY.workloads, seeds=(0, 1, 2)
+        )
+        assert other.spec_hash() != TINY.spec_hash()
+
+    def test_cell_key_ignores_suite_name(self):
+        a = TINY.cells()[0]
+        b = Cell.from_dict({**a.to_dict(), "suite": "renamed"})
+        assert a.key() == b.key()
+
+    def test_cell_dict_round_trip(self):
+        for cell in TINY.cells():
+            assert Cell.from_dict(cell.to_dict()) == cell
+
+    def test_builtin_suites_expand(self):
+        assert "smoke" in SUITES
+        for name, spec in SUITES.items():
+            cells = spec.cells()
+            assert cells, name
+            assert len({c.key() for c in cells}) == len(cells), name
+
+    def test_builtin_suites_cover_every_bench_experiment(self):
+        for i in range(1, 16):
+            assert any(s.startswith(f"e{i}_") for s in SUITES), f"e{i} uncovered"
+
+    def test_baseline_suite_has_algorithm_axis(self):
+        algos = {c.algorithm for c in SUITES["e13_baselines"].cells()}
+        assert algos == {"paper", "luby", "palette_sparsification", "local_gather"}
+
+    def test_workload_level_instance_seed_overrides_grid(self):
+        spec = ScenarioSpec(
+            name="x",
+            workloads=(
+                WorkloadSpec.of("figure1", instance_seed=82),
+                WorkloadSpec.of("congest", n=50),
+            ),
+            instance_seeds=(0, 1),
+        )
+        seeds = {(c.workload, c.instance_seed) for c in spec.cells()}
+        assert seeds == {("figure1", 82), ("congest", 0), ("congest", 1)}
+
+    def test_e15_suite_pins_historical_instances(self):
+        # bench_e15 always measured planted_acd drawn with seed 81 and cabal
+        # drawn with seed 82; the suite must keep those exact instances
+        seeds = {
+            (c.workload, c.instance_seed)
+            for c in SUITES["e15_cross_regime"].cells()
+        }
+        assert seeds == {("planted_acd", 81), ("cabal", 82)}
+
+
+class TestRunner:
+    def test_run_cell_collects_metrics(self):
+        record = run_cell(TINY.cells()[0].to_dict())
+        assert record["status"] == "ok"
+        m = record["metrics"]
+        assert m["proper"] is True
+        assert m["rounds_h"] > 0
+        assert m["colors_used"] <= m["num_colors"]
+        assert record["wall_time_s"] is not None
+
+    def test_run_cell_is_deterministic(self):
+        cell = TINY.cells()[2].to_dict()
+        assert run_cell(cell)["metrics"] == run_cell(cell)["metrics"]
+
+    def test_run_cell_captures_failures(self):
+        bad = Cell(
+            suite="t",
+            workload="low_degree",
+            workload_kwargs=(("no_such_kwarg", 1),),
+            params="scaled",
+            regime="auto",
+            algorithm="paper",
+            seed=0,
+            instance_seed=0,
+        )
+        record = run_cell(bad.to_dict())
+        assert record["status"] == "error"
+        assert "no_such_kwarg" in record["error"]
+
+    def test_run_cell_unknown_algorithm(self):
+        bad = Cell.from_dict({**TINY.cells()[0].to_dict(), "algorithm": "magic"})
+        record = run_cell(bad.to_dict())
+        assert record["status"] == "error"
+        assert "magic" in record["error"]
+
+    def test_run_cell_timeout(self):
+        slow = Cell(
+            suite="t",
+            workload="planted_acd",
+            workload_kwargs=(),
+            params="scaled",
+            regime="auto",
+            algorithm="paper",
+            seed=0,
+            instance_seed=0,
+        )
+        record = run_cell(slow.to_dict(), timeout_s=0.01)
+        assert record["status"] == "timeout"
+
+    def test_baseline_algorithm_cell(self):
+        cell = Cell.from_dict({**TINY.cells()[0].to_dict(), "algorithm": "luby"})
+        record = run_cell(cell.to_dict())
+        assert record["status"] == "ok"
+        assert record["metrics"]["regime_effective"] == "baseline"
+        assert record["metrics"]["proper"] is True
+
+    def test_serial_suite_preserves_grid_order(self):
+        lines = []
+        records = run_suite(TINY, jobs=1, timeout_s=0, progress=lines.append)
+        assert [r["key"] for r in records] == [c.key() for c in TINY.cells()]
+        assert len(lines) == len(records)
+        assert lines[-1].startswith(f"[{len(records)}/{len(records)}]")
+
+    def test_parallel_pool_matches_serial(self):
+        serial = run_suite(TINY, jobs=1, timeout_s=0)
+        parallel = run_suite(TINY, jobs=2, timeout_s=0)
+        assert [r["key"] for r in parallel] == [r["key"] for r in serial]
+        assert [r["metrics"] for r in parallel] == [r["metrics"] for r in serial]
+
+    def test_cell_after_timeout_still_runs_clean(self):
+        # a timed-out cell must not leak its timer or poison module state
+        slow = Cell(
+            suite="t", workload="planted_acd", workload_kwargs=(),
+            params="scaled", regime="auto", algorithm="paper",
+            seed=0, instance_seed=0,
+        )
+        assert run_cell(slow.to_dict(), timeout_s=0.01)["status"] == "timeout"
+        record = run_cell(TINY.cells()[0].to_dict(), timeout_s=60)
+        assert record["status"] == "ok"
+
+    def test_progress_line_handles_worker_death_record(self):
+        # the fallback record for a dead pool worker has wall_time_s=None
+        from repro.experiments.runner import _progress_line, error_summary
+
+        record = {
+            "kind": "cell",
+            "key": "k",
+            "cell": TINY.cells()[0].to_dict(),
+            "status": "error",
+            "metrics": {},
+            "wall_time_s": None,
+            "error": None,
+        }
+        line = _progress_line(record, 1, 2)
+        assert "ERROR" in line
+        assert error_summary(record["error"]) == "?"
+        assert error_summary("  \n ") == "?"
+        assert error_summary("a\nlast line") == "last line"
+
+
+class TestArtifacts:
+    def _sweep(self, tmp_path, name="a.jsonl"):
+        return run_sweep(TINY, jobs=1, timeout_s=0, out_path=tmp_path / name)
+
+    def test_round_trip(self, tmp_path):
+        path, records = self._sweep(tmp_path)
+        artifact = read_artifact(path)
+        assert artifact.suite == "tiny"
+        assert artifact.spec_hash == TINY.spec_hash()
+        assert artifact.header["schema_version"] == 1
+        assert len(artifact.records) == len(records)
+        assert artifact.by_key().keys() == {r["key"] for r in records}
+
+    def test_rejects_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        header = make_header("x", "h")
+        header["schema_version"] = 999
+        write_artifact(path, header, [])
+        with pytest.raises(ValueError, match="schema_version 999"):
+            read_artifact(path)
+
+    def test_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "no_header.jsonl"
+        path.write_text('{"kind": "cell", "key": "k"}\n')
+        with pytest.raises(ValueError, match="no header"):
+            read_artifact(path)
+
+    def test_csv_export(self, tmp_path):
+        path, _ = self._sweep(tmp_path)
+        out = to_csv(read_artifact(path), tmp_path / "cells.csv")
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 1 + len(TINY.cells())
+        assert lines[0].startswith("suite,workload,params,regime,algorithm")
+
+    def test_summarize_groups_and_percentiles(self, tmp_path):
+        path, _ = self._sweep(tmp_path)
+        rows = summarize(read_artifact(path))
+        assert len(rows) == 2  # two workloads, one preset/regime/algorithm
+        for row in rows:
+            assert row["n"] == 2
+            assert row["failed"] == 0
+            assert row["proper_rate"] == 1.0
+            assert row["rounds_h_p50"] <= row["rounds_h_p95"]
+
+    def test_summarize_separates_kwargs_variants(self):
+        # size-sweep suites differ only in workload kwargs; grouping must
+        # not average across problem sizes
+        def rec(n_vertices, rounds):
+            return {
+                "kind": "cell",
+                "key": f"k{n_vertices}",
+                "cell": {"workload": "high_degree", "params": "scaled",
+                         "regime": "auto", "algorithm": "paper",
+                         "workload_kwargs": {"n_vertices": n_vertices}},
+                "status": "ok",
+                "metrics": {"rounds_h": rounds, "proper": True},
+                "wall_time_s": 0.1,
+            }
+
+        artifact = Artifact(
+            header=make_header("x", "h"),
+            records=[rec(150, 10), rec(1200, 12)],
+        )
+        rows = summarize(artifact)
+        assert len(rows) == 2
+        assert [r["rounds_h_mean"] for r in rows] == [12, 10] or [
+            r["rounds_h_mean"] for r in rows
+        ] == [10, 12]
+
+    def test_summarize_rows_are_homogeneous(self):
+        # format_table takes headers from the first row; a group with no ok
+        # cells must still carry every stat column (blank, not missing)
+        failed = {
+            "kind": "cell",
+            "key": "k1",
+            "cell": {"workload": "aaa", "params": "scaled", "regime": "auto",
+                     "algorithm": "paper", "workload_kwargs": {}},
+            "status": "error",
+            "metrics": {},
+            "wall_time_s": None,
+        }
+        ok = {
+            "kind": "cell",
+            "key": "k2",
+            "cell": {"workload": "zzz", "params": "scaled", "regime": "auto",
+                     "algorithm": "paper", "workload_kwargs": {}},
+            "status": "ok",
+            "metrics": {"rounds_h": 5, "proper": True},
+            "wall_time_s": 0.1,
+        }
+        rows = summarize(Artifact(header=make_header("x", "h"), records=[failed, ok]))
+        assert rows[0]["workload"] == "aaa"  # sorts first, all-failed
+        assert set(rows[0]) == set(rows[1])
+        assert rows[1]["rounds_h_mean"] == 5
+
+    def test_summarize_counts_failed_cells(self):
+        artifact = Artifact(
+            header=make_header("x", "h"),
+            records=[
+                {
+                    "kind": "cell",
+                    "key": "k1",
+                    "cell": {"workload": "w", "params": "scaled", "regime": "auto",
+                             "algorithm": "paper"},
+                    "status": "error",
+                    "metrics": {},
+                    "wall_time_s": None,
+                }
+            ],
+        )
+        rows = summarize(artifact)
+        assert rows[0]["failed"] == 1
+        assert rows[0]["n"] == 0
+
+
+class TestCompare:
+    def _artifact(self, tmp_path, name):
+        path, _ = run_sweep(TINY, jobs=1, timeout_s=0, out_path=tmp_path / name)
+        return read_artifact(path)
+
+    def test_identical_artifacts_pass(self, tmp_path):
+        artifact = self._artifact(tmp_path, "base.jsonl")
+        report = compare_artifacts(artifact, artifact)
+        assert report.exit_code == 0
+        assert report.regressions == []
+        assert report.compared_cells == len(TINY.cells())
+        assert "OK" in render_report(report)
+
+    def test_regression_detected_and_gated(self, tmp_path):
+        base = self._artifact(tmp_path, "base.jsonl")
+        cand = self._artifact(tmp_path, "cand.jsonl")
+        cand.records[0]["metrics"]["rounds_h"] *= 10
+        report = compare_artifacts(base, cand)
+        assert report.exit_code == 1
+        assert [d.metric for d in report.regressions] == ["rounds_h"]
+        assert "REGRESSION" in render_report(report)
+
+    def test_within_tolerance_passes(self, tmp_path):
+        base = self._artifact(tmp_path, "base.jsonl")
+        cand = self._artifact(tmp_path, "cand.jsonl")
+        cand.records[0]["metrics"]["rounds_h"] *= 10
+        report = compare_artifacts(base, cand, {"rounds_h": 100.0})
+        assert report.exit_code == 0
+
+    def test_properness_loss_is_a_regression(self, tmp_path):
+        base = self._artifact(tmp_path, "base.jsonl")
+        cand = self._artifact(tmp_path, "cand.jsonl")
+        cand.records[0]["metrics"]["proper"] = False
+        report = compare_artifacts(base, cand)
+        assert report.exit_code == 1
+        assert report.improperly_colored
+
+    def test_newly_failed_cell_is_a_regression(self, tmp_path):
+        base = self._artifact(tmp_path, "base.jsonl")
+        cand = self._artifact(tmp_path, "cand.jsonl")
+        cand.records[0]["status"] = "error"
+        report = compare_artifacts(base, cand)
+        assert report.exit_code == 1
+        assert report.newly_failed
+
+    def test_missing_cells_reported_not_gated(self, tmp_path):
+        base = self._artifact(tmp_path, "base.jsonl")
+        cand = self._artifact(tmp_path, "cand.jsonl")
+        del cand.records[0]
+        report = compare_artifacts(base, cand)
+        assert len(report.missing_cells) == 1
+        assert report.exit_code == 0
+
+    def test_tolerance_override_parsing(self):
+        tolerances = parse_tolerance_overrides(["rounds_h=0.5", "fallbacks=2"])
+        assert tolerances["rounds_h"] == 0.5
+        assert tolerances["fallbacks"] == 2.0
+        assert tolerances["total_message_bits"] == 0.05  # default kept
+        with pytest.raises(ValueError):
+            parse_tolerance_overrides(["rounds_h"])
+
+    def test_tolerance_override_rejects_unknown_metric(self):
+        # a typo'd metric name must not silently disable a gate
+        with pytest.raises(ValueError, match="unknown gateable metric"):
+            parse_tolerance_overrides(["round_h=0.05"])
+        with pytest.raises(ValueError, match="unknown gateable metric"):
+            parse_tolerance_overrides(["wall_time_s=0.1"])  # record-level, ungated
+
+
+class TestCliIntegration:
+    def test_sweep_report_compare_loop(self, tmp_path, capsys):
+        from repro.cli import main
+
+        artifact = tmp_path / "smoke.jsonl"
+        code = main(
+            ["sweep", "--suite", "smoke", "--jobs", "1", "--quiet",
+             "--out", str(artifact)]
+        )
+        assert code == 0
+        assert "artifact:" in capsys.readouterr().out
+        assert artifact.exists()
+
+        code = main(["report", str(artifact), "--csv", str(tmp_path / "out.csv")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suite=smoke" in out
+        assert (tmp_path / "out.csv").exists()
+
+        code = main(["compare", str(artifact), str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 metric regressions" in out
+
+    def test_workloads_json(self, capsys):
+        from repro.cli import main
+        from repro.workloads import GENERATORS
+
+        assert main(["workloads", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["name"] for r in rows} == set(GENERATORS)
+        for row in rows:
+            assert row["machines"] > 0
+
+    def test_unknown_suite_rejected(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--suite", "nope"])
+
+
+class TestWorkloadRegistry:
+    def test_figure1_accepts_rng(self):
+        from repro.workloads import GENERATORS, figure1_example
+
+        with_rng = figure1_example(np.random.default_rng(0))
+        without = figure1_example()
+        assert with_rng.graph.n_machines == without.graph.n_machines
+        assert GENERATORS["figure1"] is figure1_example
+
+    def test_registry_signatures_uniform(self):
+        from repro.workloads import GENERATORS
+
+        for name, maker in GENERATORS.items():
+            w = maker(np.random.default_rng(0))
+            assert w.graph.n_vertices > 0, name

@@ -122,6 +122,109 @@ class TestLedger:
         with pytest.raises(ValueError):
             BandwidthLedger(bandwidth_bits=8, dilation=0)
 
+    def test_bit_accounting_invariant(self):
+        # bits measure payload: total == sum of per-op bits, and multi-round
+        # operations charge payload per H-round unit
+        ledger = BandwidthLedger(bandwidth_bits=32)
+        ledger.charge("a", 8, rounds_h=3)
+        ledger.charge("b", 16)
+        ledger.charge_local("c")
+        assert ledger.total_message_bits == 8 * 3 + 16
+        assert sum(ledger.per_op_bits.values()) == ledger.total_message_bits
+        assert sum(ledger.per_op_rounds.values()) == ledger.rounds_h
+
+    def test_pipelining_preserves_payload_bits(self):
+        # splitting a wide message adds rounds, never bits
+        narrow = BandwidthLedger(bandwidth_bits=200)
+        wide = BandwidthLedger(bandwidth_bits=32)
+        narrow.charge("op", 100, rounds_h=2)
+        wide.charge("op", 100, rounds_h=2, pipelined=True)
+        assert wide.total_message_bits == narrow.total_message_bits == 200
+        assert wide.rounds_h == 2 * 4  # ceil(100/32) pieces
+        assert narrow.rounds_h == 2
+        assert sum(wide.per_op_bits.values()) == wide.total_message_bits
+
+    def test_non_strict_oversized_accounting(self):
+        # non-strict mode auto-pipelines: rounds are effective, bits are
+        # payload, and the recorded widest message stays within the cap
+        ledger = BandwidthLedger(bandwidth_bits=32, dilation=2, strict=False)
+        charged = ledger.charge("wide", 70, rounds_h=3)
+        assert charged == 9  # ceil(70/32) = 3 pieces per H-round unit
+        assert ledger.rounds_h == 9
+        assert ledger.rounds_g == 18
+        assert ledger.total_message_bits == 70 * 3
+        assert ledger.per_op_rounds["wide"] == 9
+        assert ledger.per_op_bits["wide"] == 70 * 3
+        assert ledger.max_message_bits == 32
+        ledger.assert_compliant()
+
+    def test_zero_round_charge_accounts_payload_once(self):
+        ledger = BandwidthLedger(bandwidth_bits=32)
+        charged = ledger.charge("piggyback", 8, rounds_h=0)
+        assert charged == 0
+        assert ledger.rounds_h == 0
+        assert ledger.total_message_bits == 8
+        assert ledger.per_op_bits["piggyback"] == 8
+
+    def test_depth_override_scales_g_rounds_only(self):
+        ledger = BandwidthLedger(bandwidth_bits=32, dilation=4)
+        ledger.charge("deep", 8, rounds_h=2, depth=7)
+        assert ledger.rounds_h == 2
+        assert ledger.rounds_g == 14  # depth wins over the default dilation
+        ledger.charge("default", 8)
+        assert ledger.rounds_g == 14 + 4
+
+    def test_depth_override_clamped_to_one(self):
+        ledger = BandwidthLedger(bandwidth_bits=32, dilation=5)
+        ledger.charge("shallow", 8, depth=0)
+        assert ledger.rounds_g == 1
+
+    def test_depth_override_with_pipelining(self):
+        ledger = BandwidthLedger(bandwidth_bits=32, dilation=1)
+        charged = ledger.charge("wide_deep", 64, depth=3, pipelined=True)
+        assert charged == 2
+        assert ledger.rounds_g == 6  # every pipelined piece pays the depth
+
+
+class TestLedgerSnapshot:
+    def test_diff_is_directional_counters(self):
+        ledger = BandwidthLedger(bandwidth_bits=32)
+        ledger.charge("before", 8, rounds_h=5)
+        first = ledger.snapshot()
+        ledger.charge("after", 16, rounds_h=2)
+        diff = first.diff(ledger.snapshot())
+        assert diff.rounds_h == 2
+        assert diff.rounds_g == 2
+        assert diff.total_message_bits == 16 * 2
+        assert diff.num_operations == 1
+
+    def test_diff_max_message_bits_is_max_not_difference(self):
+        # max_message_bits is a high-water mark, so diff keeps the larger of
+        # the two marks rather than subtracting
+        ledger = BandwidthLedger(bandwidth_bits=32)
+        ledger.charge("wide", 30)
+        first = ledger.snapshot()
+        ledger.charge("narrow", 4)
+        diff = first.diff(ledger.snapshot())
+        assert diff.max_message_bits == 30
+
+    def test_diff_of_identical_snapshots_is_zero(self):
+        ledger = BandwidthLedger(bandwidth_bits=32)
+        ledger.charge("op", 8)
+        snap = ledger.snapshot()
+        diff = snap.diff(ledger.snapshot())
+        assert diff.rounds_h == 0
+        assert diff.rounds_g == 0
+        assert diff.total_message_bits == 0
+        assert diff.num_operations == 0
+
+    def test_snapshot_is_immutable_view(self):
+        ledger = BandwidthLedger(bandwidth_bits=32)
+        snap = ledger.snapshot()
+        ledger.charge("later", 8)
+        assert snap.rounds_h == 0
+        assert ledger.snapshot().rounds_h == 1
+
 
 class TestMachineSimulator:
     def _line(self) -> CommGraph:
