@@ -164,19 +164,45 @@ def blowup(
         machine_lists.append(list(range(next_machine, next_machine + size)))
         next_machine += size
 
-    edges: list[tuple[int, int]] = []
+    internal: list[tuple[int, int]] = []
     for v, machines in enumerate(machine_lists):
-        edges.extend(_cluster_internal_edges(machines, topology, rng))
-    for u, v in relabeled.edges():
-        mu_list, mv_list = machine_lists[u], machine_lists[v]
-        for _ in range(link_multiplicity):
-            mu = mu_list[int(rng.integers(0, len(mu_list)))]
-            mv = mv_list[int(rng.integers(0, len(mv_list)))]
-            edges.append((mu, mv))
+        internal.extend(_cluster_internal_edges(machines, topology, rng))
+
+    # Inter-cluster links, vectorized: clusters are contiguous machine
+    # ranges, so a pick is start + offset.  The (edges, multiplicity, 2)
+    # draw matrix consumes the rng in exactly the order the per-edge loop
+    # did (C-order: edge, copy, endpoint), keeping pinned instances
+    # bitwise identical.
+    starts = np.fromiter(
+        (m[0] for m in machine_lists), dtype=np.int64, count=n_vertices
+    )
+    sizes = np.fromiter(
+        (len(m) for m in machine_lists), dtype=np.int64, count=n_vertices
+    )
+    edge_arr = np.asarray(list(relabeled.edges()), dtype=np.int64).reshape(-1, 2)
+    parts: list[np.ndarray] = []
+    if internal:
+        parts.append(np.asarray(internal, dtype=np.int64))
+    if edge_arr.size:
+        highs = np.stack(
+            [sizes[edge_arr[:, 0]], sizes[edge_arr[:, 1]]], axis=1
+        )[:, None, :].repeat(link_multiplicity, axis=1)
+        offsets = rng.integers(0, highs)
+        inter = (
+            np.stack(
+                [starts[edge_arr[:, 0]], starts[edge_arr[:, 1]]], axis=1
+            )[:, None, :]
+            + offsets
+        ).reshape(-1, 2)
+        parts.append(inter)
+    edges = (
+        np.concatenate(parts)
+        if parts
+        else np.empty((0, 2), dtype=np.int64)
+    )
 
     comm = CommGraph(next_machine, edges)
-    assignment = [0] * next_machine
-    for v, machines in enumerate(machine_lists):
-        for m in machines:
-            assignment[m] = v
+    assignment = np.repeat(
+        np.arange(n_vertices, dtype=np.int64), sizes
+    ).tolist()
     return ClusterGraph.from_assignment(comm, assignment)

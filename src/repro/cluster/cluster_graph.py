@@ -7,6 +7,11 @@ and an edge between two nodes iff some ``G``-link joins their clusters.
 The same pair of clusters may be joined by many links (Figure 1): this is
 what makes degree computation and palette discovery non-trivial in the
 model, so :class:`ClusterGraph` keeps the full multiset of realizing links.
+
+The adjacency backbone is CSR (``indptr``/``indices`` int64 arrays) built
+once at construction; the list/dict views (``adj``, ``links``,
+``neighbor_set``) are thin accessors over it, materialized lazily where
+they are not needed on hot paths.
 """
 
 from __future__ import annotations
@@ -14,6 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.graphcore.csr import CSRAdjacency
 from repro.network.commgraph import CommGraph
 from repro.cluster.support_tree import SupportTree
 
@@ -38,9 +46,17 @@ class ClusterGraph:
         Support tree per cluster (leader = tree root).
     adj:
         ``adj[v]`` is the sorted list of H-neighbors of ``v``.
+    csr:
+        CSR view of ``adj``, (re)derived in ``__post_init__`` -- the
+        backbone the batched coloring kernels (:mod:`repro.graphcore`) run
+        on.  Because ``__post_init__`` rebuilds it, it survives
+        ``dataclasses.replace`` and unpickling in pool workers (unlike the
+        lazy ``_adj_arrays`` attribute cache it replaces, which silently
+        vanished there and was rebuilt per vertex).
     links:
         ``links[(u, v)]`` with ``u < v`` lists the G-links realizing H-edge
-        ``{u, v}``.
+        ``{u, v}`` (lazy property; diagnostics and the dedup machinery use
+        it, the coloring hot paths never do).
     """
 
     comm: CommGraph
@@ -48,8 +64,16 @@ class ClusterGraph:
     clusters: list[list[int]]
     trees: list[SupportTree]
     adj: list[list[int]]
-    links: dict[tuple[int, int], list[tuple[int, int]]]
+    _links: dict[tuple[int, int], list[tuple[int, int]]] | None = field(
+        default=None, repr=False
+    )
     _neighbor_sets: list[frozenset[int]] = field(default_factory=list, repr=False)
+    #: derived, never passed to __init__: rebuilt from ``adj`` on every
+    #: construction (including dataclasses.replace), so it can never go stale
+    csr: CSRAdjacency = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.csr = CSRAdjacency.from_adj_lists(self.adj)
 
     # ---- construction --------------------------------------------------------
 
@@ -57,7 +81,7 @@ class ClusterGraph:
     def from_assignment(
         cls, comm: CommGraph, assignment: Sequence[int]
     ) -> "ClusterGraph":
-        """Build ``H`` from a machine-to-cluster assignment.
+        """Build ``H`` from a machine-to-cluster assignment (vectorized).
 
         Raises
         ------
@@ -69,49 +93,104 @@ class ClusterGraph:
             raise ValueError(
                 f"assignment covers {len(assignment)} machines; G has {comm.n}"
             )
-        n_vertices = max(assignment) + 1
-        if min(assignment) < 0:
+        assign = np.asarray(assignment, dtype=np.int64)
+        if assign.min() < 0:
             raise ValueError("cluster ids must be non-negative")
-        clusters: list[list[int]] = [[] for _ in range(n_vertices)]
-        for machine, vertex in enumerate(assignment):
-            clusters[vertex].append(machine)
-        for vertex, machines in enumerate(clusters):
-            if not machines:
-                raise ValueError(f"cluster id {vertex} is unused (ids must be dense)")
+        n_vertices = int(assign.max()) + 1
+        sizes = np.bincount(assign, minlength=n_vertices)
+        if (sizes == 0).any():
+            vertex = int(np.flatnonzero(sizes == 0)[0])
+            raise ValueError(f"cluster id {vertex} is unused (ids must be dense)")
+        member_order = np.argsort(assign, kind="stable")
+        clusters = [
+            part.tolist()
+            for part in np.split(member_order, np.cumsum(sizes)[:-1])
+        ]
 
         trees = [
             SupportTree.build_bfs(comm, machines, cluster_id=vertex)
             for vertex, machines in enumerate(clusters)
         ]
 
-        adj_sets: list[set[int]] = [set() for _ in range(n_vertices)]
-        links: dict[tuple[int, int], list[tuple[int, int]]] = {}
-        for mu, mv in comm.iter_links():
-            cu, cv = assignment[mu], assignment[mv]
-            if cu == cv:
-                continue
-            a, b = (cu, cv) if cu < cv else (cv, cu)
-            adj_sets[a].add(b)
-            adj_sets[b].add(a)
-            key = (a, b)
-            link = (mu, mv) if cu < cv else (mv, mu)
-            links.setdefault(key, []).append(link)
+        # H-adjacency: map every G-link to its cluster pair, drop
+        # intra-cluster links, dedupe pairs, and lay both directions out as
+        # CSR in one pass.
+        mu, mv = comm.link_arrays()
+        cu, cv = assign[mu], assign[mv]
+        inter = cu != cv
+        mu, mv, cu, cv = mu[inter], mv[inter], cu[inter], cv[inter]
+        swap = cu > cv
+        a = np.where(swap, cv, cu)
+        b = np.where(swap, cu, cv)
+        pair_codes = a * n_vertices + b
+        uniq_codes = np.unique(pair_codes)
+        ua, ub = uniq_codes // n_vertices, uniq_codes % n_vertices
+        src = np.concatenate([ua, ub])
+        dst = np.concatenate([ub, ua])
+        order = np.lexsort((dst, src))
+        indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n_vertices), out=indptr[1:])
+        sorted_dst = dst[order]
+        adj = [part.tolist() for part in np.split(sorted_dst, indptr[1:-1])]
 
-        adj = [sorted(s) for s in adj_sets]
-        return cls(
+        graph = cls(
             comm=comm,
-            assignment=list(assignment),
+            assignment=[int(x) for x in assignment],
             clusters=clusters,
             trees=trees,
             adj=adj,
-            links=links,
-            _neighbor_sets=[frozenset(s) for s in adj_sets],
         )
+        # raw material for the lazy `links` view: realizing G-links keyed by
+        # H-edge code, kept as arrays until someone asks for the dict
+        graph._link_raw = (pair_codes, mu, mv, cu)
+        return graph
 
     @classmethod
     def identity(cls, comm: CommGraph) -> "ClusterGraph":
         """The CONGEST special case: every machine is its own cluster."""
         return cls.from_assignment(comm, list(range(comm.n)))
+
+    # ---- lazy list/dict views ------------------------------------------------
+
+    @property
+    def links(self) -> dict[tuple[int, int], list[tuple[int, int]]]:
+        """``links[(u, v)]`` with ``u < v``: the G-links realizing H-edge
+        ``{u, v}``, oriented as ``(machine in V(u), machine in V(v))``.
+
+        Materialized on first access (diagnostics/dedup only; hot paths use
+        :attr:`csr`).
+        """
+        if self._links is None:
+            links: dict[tuple[int, int], list[tuple[int, int]]] = {}
+            raw = getattr(self, "_link_raw", None)
+            if raw is not None:
+                pair_codes, mu, mv, cu = raw
+                n_vertices = self.n_vertices
+                grouping = np.argsort(pair_codes, kind="stable")
+                for idx in grouping.tolist():
+                    code = int(pair_codes[idx])
+                    key = (code // n_vertices, code % n_vertices)
+                    link = (int(mu[idx]), int(mv[idx]))
+                    if int(cu[idx]) != key[0]:
+                        link = (link[1], link[0])
+                    links.setdefault(key, []).append(link)
+                self._link_raw = None  # free the raw arrays once materialized
+            else:  # constructed directly (tests); derive from the network
+                assign = self.assignment
+                for gu, gv in self.comm.iter_links():
+                    cu_, cv_ = assign[gu], assign[gv]
+                    if cu_ == cv_:
+                        continue
+                    key = (cu_, cv_) if cu_ < cv_ else (cv_, cu_)
+                    link = (gu, gv) if cu_ < cv_ else (gv, gu)
+                    links.setdefault(key, []).append(link)
+            self._links = links
+        return self._links
+
+    def _neighbor_set_list(self) -> list[frozenset[int]]:
+        if not self._neighbor_sets:
+            self._neighbor_sets = [frozenset(a) for a in self.adj]
+        return self._neighbor_sets
 
     # ---- structure -----------------------------------------------------------
 
@@ -147,16 +226,26 @@ class ClusterGraph:
 
     def neighbor_set(self, v: int) -> frozenset[int]:
         """H-neighbors of ``v`` as a frozenset (for intersection tests)."""
-        return self._neighbor_sets[v]
+        return self._neighbor_set_list()[v]
 
     def are_adjacent(self, u: int, v: int) -> bool:
-        """Whether ``{u, v}`` is an H-edge."""
-        return v in self._neighbor_sets[u]
+        """Whether ``{u, v}`` is an H-edge.
+
+        O(1) set membership when the frozenset views are already
+        materialized; otherwise a binary search on the CSR (building all
+        the sets costs O(m) and would dwarf a few probes).
+        """
+        if self._neighbor_sets:
+            return v in self._neighbor_sets[u]
+        nbrs = self.csr.neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < nbrs.size and int(nbrs[i]) == v
 
     @property
     def max_degree(self) -> int:
         """``Delta``, the maximum degree of ``H``."""
-        return max((len(a) for a in self.adj), default=0)
+        degrees = self.csr.degrees
+        return int(degrees.max()) if degrees.size else 0
 
     @property
     def dilation(self) -> int:
@@ -172,33 +261,31 @@ class ClusterGraph:
         return self.trees[v].root
 
     def iter_h_edges(self) -> Iterable[tuple[int, int]]:
-        """All H-edges ``(u, v)`` with ``u < v``."""
-        return self.links.keys()
+        """All H-edges ``(u, v)`` with ``u < v`` (lexicographic)."""
+        edge_u, edge_v = self.csr.edge_arrays()
+        return zip(edge_u.tolist(), edge_v.tolist())
+
+    def h_edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All H-edges as ``(u, v)`` int64 arrays with ``u < v`` (the
+        vectorized properness checker's input)."""
+        return self.csr.edge_arrays()
 
     @property
     def n_h_edges(self) -> int:
         """Number of edges of ``H``."""
-        return len(self.links)
+        return self.csr.n_directed_edges // 2
 
     def anti_neighbors_within(self, v: int, vertex_set: Iterable[int]) -> list[int]:
         """Vertices of ``vertex_set`` that are NOT adjacent to ``v`` (and are
         not ``v``) -- anti-neighbors in the sense of Section 4.1.
         """
-        nbrs = self._neighbor_sets[v]
+        nbrs = self.neighbor_set(v)
         return [u for u in vertex_set if u != v and u not in nbrs]
 
-    def neighbor_array(self, v: int):
-        """H-neighbors of ``v`` as a cached numpy array (hot path for the
-        coloring algorithms' conflict checks)."""
-        import numpy as np
-
-        cache = getattr(self, "_adj_arrays", None)
-        if cache is None:
-            cache = [None] * self.n_vertices
-            self._adj_arrays = cache
-        if cache[v] is None:
-            cache[v] = np.asarray(self.adj[v], dtype=np.int64)
-        return cache[v]
+    def neighbor_array(self, v: int) -> np.ndarray:
+        """H-neighbors of ``v`` as an int64 array -- a zero-copy slice of
+        the CSR backbone (hot path for the coloring conflict checks)."""
+        return self.csr.neighbors(v)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

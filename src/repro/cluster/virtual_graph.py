@@ -18,6 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
+from repro.graphcore.csr import CSRAdjacency
 from repro.network.commgraph import CommGraph
 
 
@@ -41,6 +44,9 @@ class VirtualGraph:
     def __post_init__(self) -> None:
         if not self._neighbor_sets:
             self._neighbor_sets = [frozenset(a) for a in self.adj]
+        # CSR backbone for the batched kernels; rebuilt on replace/unpickle
+        # rather than lazily cached (see ClusterGraph.csr).
+        self.csr = CSRAdjacency.from_adj_lists(self.adj)
 
     # -- ClusterGraph-compatible interface ------------------------------------
 
@@ -91,17 +97,14 @@ class VirtualGraph:
                 if u < v:
                     yield (u, v)
 
-    def neighbor_array(self, v: int):
-        """Conflict-graph neighbors as a cached numpy array."""
-        import numpy as np
+    def neighbor_array(self, v: int) -> np.ndarray:
+        """Conflict-graph neighbors of ``v`` as an int64 array -- a
+        zero-copy slice of the CSR backbone."""
+        return self.csr.neighbors(v)
 
-        cache = getattr(self, "_adj_arrays", None)
-        if cache is None:
-            cache = [None] * self.n_vertices
-            self._adj_arrays = cache
-        if cache[v] is None:
-            cache[v] = np.asarray(self.adj[v], dtype=np.int64)
-        return cache[v]
+    def h_edge_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """All conflict edges as ``(u, v)`` int64 arrays with ``u < v``."""
+        return self.csr.edge_arrays()
 
 
 def distance2_virtual_graph(comm: CommGraph) -> VirtualGraph:

@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.aggregation.runtime import ClusterRuntime
-from repro.coloring.types import PartialColoring, UNCOLORED
+from repro.coloring.types import PartialColoring
 from repro.coloring.try_color import palette_sampler, try_color_round
+from repro.graphcore import batch_used_color_masks, csr_of, gather_neighborhoods
 
 
 def shattering(
@@ -97,29 +100,34 @@ def small_instance_coloring(
     minima, of which each component has at least one).
     """
     graph = runtime.graph
+    csr = csr_of(graph)
     pending = [v for comp in components for v in comp if not coloring.is_colored(v)]
     if max_rounds is None:
         max_rounds = max((len(c) for c in components), default=0) + 1
     for _ in range(max_rounds):
         if not pending:
             break
-        pending_set = set(pending)
-        round_assignments: list[tuple[int, int]] = []
-        for v in pending:
-            if any(u in pending_set and u < v for u in graph.neighbors(v)):
-                continue
-            used = set(
-                int(c)
-                for c in coloring.neighbor_colors(graph, v)
-                if c != UNCOLORED
-            )
-            free = next(
-                (c for c in range(coloring.num_colors) if c not in used), None
-            )
-            if free is not None:
-                round_assignments.append((v, free))
-        for v, c in round_assignments:
-            coloring.assign(v, c)
+        pending_arr = np.asarray(pending, dtype=np.int64)
+        pending_mask = np.zeros(graph.n_vertices, dtype=bool)
+        pending_mask[pending_arr] = True
+        # local minima: no smaller-ID uncolored neighbor (one CSR gather)
+        seg_ids, flat = gather_neighborhoods(csr, pending_arr)
+        smaller_active = pending_mask[flat] & (flat < pending_arr[seg_ids])
+        has_smaller = (
+            np.bincount(seg_ids[smaller_active], minlength=pending_arr.size) > 0
+        )
+        minima = pending_arr[~has_smaller]
+        # each minimum takes its smallest free color (round-start state,
+        # exactly the deferred-assignment semantics of the loop this
+        # replaces: minima are pairwise non-adjacent)
+        free_masks = ~batch_used_color_masks(
+            csr, coloring.colors, minima, coloring.num_colors
+        )
+        has_free = free_masks.any(axis=1)
+        first_free = np.argmax(free_masks, axis=1)
+        for v, ok, c in zip(minima, has_free, first_free):
+            if ok:
+                coloring.assign(int(v), int(c))
         runtime.wide_message(op + "_palette", coloring.num_colors)
         runtime.h_rounds(op, count=1, bits=runtime.color_bits)
         pending = [v for v in pending if not coloring.is_colored(v)]

@@ -15,11 +15,10 @@ from __future__ import annotations
 
 from typing import Callable
 
-import numpy as np
-
 from repro.aggregation.runtime import ClusterRuntime
 from repro.coloring.errors import StageFailure
-from repro.coloring.types import UNCOLORED, PartialColoring
+from repro.coloring.types import PartialColoring
+from repro.graphcore import batch_used_color_masks, csr_of
 from repro.params import log_star
 from repro.sketch.representative import RepresentativeFamily
 
@@ -89,16 +88,19 @@ def multicolor_trial(
         runtime.h_rounds(op, count=2, bits=2 * runtime.id_bits)
 
         # Pass 1 (Algorithm 16's rule): adopt a trial color no active
-        # neighbor even *tried*.
+        # neighbor even *tried*.  Used-color lookups come from one batched
+        # CSR gather over every active vertex; the contention scan stays
+        # per-vertex (expected O(1) contenders per color).
         newly: list[tuple[int, int]] = []
         blocked_vertices: list[int] = []
-        for v, trial in trial_sets.items():
-            nbrs = graph.neighbor_array(v)
-            ncols = coloring.colors[nbrs]
-            used = set(int(c) for c in ncols if c != UNCOLORED)
+        active = list(trial_sets)
+        used_masks = batch_used_color_masks(
+            csr_of(graph), coloring.colors, active, coloring.num_colors
+        )
+        for row, (v, trial) in zip(used_masks, trial_sets.items()):
             choice = None
             for c in trial:
-                if c in used:
+                if row[c]:
                     continue
                 blocked = False
                 for u in tried_by.get(c, ()):  # expected O(1) contenders
@@ -119,14 +121,17 @@ def multicolor_trial(
         # smallest contender win costs one more round and only adds
         # progress, preserving Lemma D.1's guarantee.
         chosen_now: dict[int, list[int]] = {}
-        for v in sorted(blocked_vertices):
+        contenders = sorted(blocked_vertices)
+        # snapshot used-colors once (post pass-1): colors taken *during*
+        # pass 2 are exactly the chosen_now entries, checked by adjacency.
+        pass2_masks = batch_used_color_masks(
+            csr_of(graph), coloring.colors, contenders, coloring.num_colors
+        )
+        for row, v in zip(pass2_masks, contenders):
             if coloring.is_colored(v):
                 continue
-            nbrs = graph.neighbor_array(v)
-            ncols = coloring.colors[nbrs]
-            used = set(int(c) for c in ncols if c != UNCOLORED)
             for c in trial_sets[v]:
-                if c in used:
+                if row[c]:
                     continue
                 if any(
                     graph.are_adjacent(u, v) for u in chosen_now.get(c, ())

@@ -25,6 +25,7 @@ from repro.coloring.stats import ColoringResult, ColoringStats
 from repro.coloring.try_color import (
     greedy_finish,
     palette_sampler,
+    try_color_round,
     try_color_until,
     uniform_range_sampler,
 )
@@ -59,8 +60,6 @@ def fallback_color(
         if not remaining:
             break
         runtime.wide_message(stage + "_fallback_palette", coloring.num_colors)
-        from repro.coloring.try_color import try_color_round
-
         try_color_round(runtime, coloring, remaining, sampler, op=stage + "_fallback")
         remaining = [v for v in remaining if not coloring.is_colored(v)]
     if remaining:

@@ -18,7 +18,8 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.aggregation.runtime import ClusterRuntime
-from repro.coloring.types import UNCOLORED, PartialColoring
+from repro.coloring.types import PartialColoring
+from repro.graphcore import batch_conflict_mask, csr_of
 
 ColorSampler = Callable[[int], int | None]
 
@@ -40,24 +41,21 @@ def resolve_proposals(
     Cost: 2 H-rounds (announce, learn outcome), ``O(log Δ)``-bit messages.
     """
     graph = runtime.graph
-    n = graph.n_vertices
-    proposal_arr = np.full(n, -2, dtype=np.int64)
-    for v, c in proposals.items():
-        proposal_arr[v] = c
     adopted: list[int] = []
-    for v, c in proposals.items():
-        nbrs = graph.neighbor_array(v)
-        if nbrs.size:
-            if (coloring.colors[nbrs] == c).any():
-                continue
-            same = proposal_arr[nbrs] == c
-            if symmetric:
-                if same.any():
-                    continue
-            else:
-                if (same & (nbrs < v)).any():
-                    continue
-        adopted.append(v)
+    if proposals:
+        verts = np.fromiter(proposals.keys(), dtype=np.int64, count=len(proposals))
+        cands = np.fromiter(proposals.values(), dtype=np.int64, count=len(proposals))
+        proposal_arr = np.full(graph.n_vertices, -2, dtype=np.int64)
+        proposal_arr[verts] = cands
+        blocked = batch_conflict_mask(
+            csr_of(graph),
+            coloring.colors,
+            verts,
+            cands,
+            proposal_map=proposal_arr,
+            symmetric=symmetric,
+        )
+        adopted = [int(v) for v in verts[~blocked]]
     for v in adopted:
         coloring.assign(v, proposals[v])
     runtime.h_rounds(op, count=2, bits=runtime.color_bits)
@@ -113,10 +111,10 @@ def palette_sampler(
     """
 
     def sample(v: int) -> int | None:
-        free = sorted(coloring.palette(runtime.graph, v))
-        if not free:
+        free = coloring.palette_array(runtime.graph, v)
+        if not free.size:
             return None
-        return int(free[int(runtime.rng.integers(0, len(free)))])
+        return int(free[int(runtime.rng.integers(0, free.size))])
 
     return sample
 
@@ -162,12 +160,10 @@ def greedy_finish(
     for v in vertices:
         if coloring.is_colored(v):
             continue
-        used = coloring.neighbor_colors(runtime.graph, v)
-        used_set = set(int(c) for c in used if c != UNCOLORED)
-        free = next((c for c in range(coloring.num_colors) if c not in used_set), None)
-        if free is None:
+        free = coloring.palette_array(runtime.graph, v)
+        if not free.size:
             stuck.append(v)
             continue
-        coloring.assign(v, free)
+        coloring.assign(v, int(free[0]))
         runtime.h_rounds(op, count=1, bits=runtime.color_bits)
     return stuck

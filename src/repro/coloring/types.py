@@ -97,12 +97,37 @@ class PartialColoring:
         """Colors used by ``v``'s neighbors (may contain ``UNCOLORED``)."""
         return self.colors[graph.neighbor_array(v)]
 
+    def palette_array(self, graph, v: int) -> np.ndarray:
+        """``L_φ(v)`` as a sorted int64 array (allocation-light hot-path
+        form of :meth:`palette`)."""
+        ncols = self.neighbor_colors(graph, v)
+        free_mask = np.ones(self.num_colors, dtype=bool)
+        used = ncols[(ncols >= 0) & (ncols < self.num_colors)]
+        free_mask[used] = False
+        return np.flatnonzero(free_mask)
+
     def palette(self, graph, v: int) -> set[int]:
         """``L_φ(v) = [q] \\ φ(N(v))`` -- the information a cluster-graph
         vertex *cannot* cheaply learn (Figure 2); algorithms must charge for
         any use of it."""
-        used = set(int(c) for c in self.neighbor_colors(graph, v) if c != UNCOLORED)
-        return {c for c in range(self.num_colors) if c not in used}
+        return {int(c) for c in self.palette_array(graph, v)}
+
+    def slacks(self, graph, vertices, among: set[int] | None = None) -> np.ndarray:
+        """``s_φ(v)`` for a whole vertex array at once (batched form of
+        :meth:`slack`, one CSR gather instead of per-vertex loops)."""
+        from repro.graphcore import batch_slack_counts, csr_of
+
+        active_mask = None
+        if among is not None:
+            active_mask = np.zeros(self.n_vertices, dtype=bool)
+            active_mask[list(among)] = True
+        return batch_slack_counts(
+            csr_of(graph),
+            self.colors,
+            vertices,
+            self.num_colors,
+            active_mask=active_mask,
+        )
 
     def is_free_for(self, graph, v: int, color: int) -> bool:
         """Whether no colored neighbor of ``v`` uses ``color``."""

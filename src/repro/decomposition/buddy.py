@@ -19,7 +19,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.aggregation.runtime import ClusterRuntime
-from repro.sketch.fingerprint import FingerprintTable, batch_estimate, neighborhood_maxima
+from repro.graphcore import csr_of, neighborhood_max_rows
+from repro.sketch.fingerprint import FingerprintTable, batch_estimate
+from repro.sketch.geometric import EMPTY_MAX
 
 
 @dataclass
@@ -33,18 +35,6 @@ class BuddyResult:
     degree_estimates: np.ndarray
     neighborhood_rows: np.ndarray
     trials: int
-
-
-def _directed_edge_arrays(graph) -> tuple[np.ndarray, np.ndarray]:
-    """Both orientations of every H-edge as parallel src/dst arrays."""
-    pairs = list(graph.iter_h_edges())
-    if not pairs:
-        empty = np.zeros(0, dtype=np.int64)
-        return empty, empty
-    arr = np.asarray(pairs, dtype=np.int64)
-    src = np.concatenate([arr[:, 0], arr[:, 1]])
-    dst = np.concatenate([arr[:, 1], arr[:, 0]])
-    return src, dst
 
 
 def buddy_predicate(
@@ -61,8 +51,7 @@ def buddy_predicate(
     trials = runtime.params.fingerprint_trials(runtime.n, max(xi / 2.0, 1e-3))
 
     table = FingerprintTable(n_v, trials, runtime.rng)
-    src, dst = _directed_edge_arrays(graph)
-    rows = neighborhood_maxima(table.rows, src, dst, n_v)
+    rows = neighborhood_max_rows(csr_of(graph), table.rows, empty_value=EMPTY_MAX)
 
     degree_estimates = batch_estimate(rows)
     # Charge: fingerprint convergecast + broadcast (pipelined wide messages).
@@ -76,31 +65,30 @@ def buddy_predicate(
     low_degree = degree_estimates < (1 - 2.0 * xi) * delta
 
     yes_edges: set[tuple[int, int]] = set()
-    pairs = list(graph.iter_h_edges())
-    if pairs:
-        arr = np.asarray(pairs, dtype=np.int64)
+    edge_u, edge_v = csr_of(graph).edge_arrays()
+    if edge_u.size:
         # |N(u) ∩ N(v)| = deg(u) + deg(v) - |N(u) ∪ N(v)|, every term
         # estimated by a fingerprint; accept when the intersection clears the
         # midpoint between the YES ((1-xi)Delta) and NO ((1-2xi)Delta) cases.
         # Edges processed in chunks: the union matrix is (edges x trials) and
         # must not dominate peak memory on dense graphs.
         chunk = max(1, (1 << 24) // max(1, trials))
-        accept_all = np.zeros(len(pairs), dtype=bool)
-        for start in range(0, len(pairs), chunk):
-            part = arr[start : start + chunk]
-            union_rows = np.maximum(rows[part[:, 0]], rows[part[:, 1]])
+        accept_all = np.zeros(edge_u.size, dtype=bool)
+        for start in range(0, edge_u.size, chunk):
+            pu = edge_u[start : start + chunk]
+            pv = edge_v[start : start + chunk]
+            union_rows = np.maximum(rows[pu], rows[pv])
             union_estimates = batch_estimate(union_rows)
             intersections = (
-                degree_estimates[part[:, 0]]
-                + degree_estimates[part[:, 1]]
-                - union_estimates
+                degree_estimates[pu] + degree_estimates[pv] - union_estimates
             )
             accept = intersections >= (1 - 1.5 * xi) * delta
-            accept &= ~(low_degree[part[:, 0]] | low_degree[part[:, 1]])
-            accept_all[start : start + len(part)] = accept
-        for (u, v), ok in zip(pairs, accept_all):
-            if ok:
-                yes_edges.add((u, v))
+            accept &= ~(low_degree[pu] | low_degree[pv])
+            accept_all[start : start + pu.size] = accept
+        yes_edges = {
+            (int(u), int(v))
+            for u, v in zip(edge_u[accept_all], edge_v[accept_all])
+        }
     return BuddyResult(
         yes_edges=yes_edges,
         degree_estimates=degree_estimates,

@@ -66,6 +66,9 @@ class ComparisonReport:
     missing_cells: list[str] = field(default_factory=list)
     extra_cells: list[str] = field(default_factory=list)
     compared_cells: int = 0
+    #: (label, baseline_s, candidate_s) per aligned cell -- reported, never
+    #: gated (wall time measures the machine, not the algorithm)
+    wall_times: list[tuple[str, float, float]] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[Delta]:
@@ -168,6 +171,9 @@ def compare_artifacts(
             # the baseline has nothing trustworthy to gate against
             continue
         report.compared_cells += 1
+        bw, cw = base.get("wall_time_s"), cand.get("wall_time_s")
+        if bw is not None and cw is not None:
+            report.wall_times.append((label, float(bw), float(cw)))
         bm, cm = base.get("metrics", {}), cand.get("metrics", {})
         if bm.get("proper") and not cm.get("proper"):
             report.improperly_colored.append(label)
@@ -219,6 +225,19 @@ def render_report(report: ComparisonReport) -> str:
         lines.append(f"missing in candidate: {label}")
     if report.extra_cells:
         lines.append(f"{len(report.extra_cells)} cells only in candidate (ignored)")
+    if report.wall_times:
+        total_base = sum(b for _, b, _ in report.wall_times)
+        total_cand = sum(c for _, _, c in report.wall_times)
+        overall = total_base / total_cand if total_cand > 0 else float("inf")
+        lines.append(
+            f"wall-time (reported, not gated): {total_base:.1f}s -> "
+            f"{total_cand:.1f}s overall ({overall:.2f}x)"
+        )
+        for label, b, c in sorted(
+            report.wall_times, key=lambda w: w[1] / max(w[2], 1e-9), reverse=True
+        )[:5]:
+            speed = b / c if c > 0 else float("inf")
+            lines.append(f"  {speed:5.2f}x  {b:8.2f}s -> {c:8.2f}s  {label}")
     improvements = report.improvements
     if improvements:
         best = min(improvements, key=lambda d: d.relative)

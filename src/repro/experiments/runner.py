@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import pathlib
 import signal
+import threading
 import time
 import traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable
 
@@ -60,6 +62,20 @@ def _alarm_handler(signum, frame):  # pragma: no cover - fires only on timeout
 def _disarm_alarm() -> None:
     _alarm_state["armed"] = False
     signal.setitimer(signal.ITIMER_REAL, 0)
+
+
+def _alarm_available() -> bool:
+    """Whether a SIGALRM watchdog can be armed here.
+
+    ``hasattr(signal, "SIGALRM")`` alone is not enough: ``signal.signal``
+    raises ``ValueError`` off the main thread (e.g. the runner embedded
+    under a thread-based caller), which used to surface as a bogus
+    ``status="error"`` cell.
+    """
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
 
 
 def error_summary(error: str | None) -> str:
@@ -170,7 +186,17 @@ def _run_cell_timed(cell_dict: dict[str, Any], timeout_s: float | None) -> dict[
         "wall_time_s": None,
         "error": None,
     }
-    use_alarm = timeout_s is not None and timeout_s > 0 and hasattr(signal, "SIGALRM")
+    want_timeout = timeout_s is not None and timeout_s > 0
+    use_alarm = want_timeout and _alarm_available()
+    if want_timeout and not use_alarm:
+        warnings.warn(
+            "cell timeout requested but SIGALRM is unavailable here "
+            "(non-main thread or platform without it); running the cell "
+            "without a watchdog and flagging budget overruns as "
+            "'timeout-unsupported'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     previous = None
     start = time.perf_counter()
     try:
@@ -200,6 +226,19 @@ def _run_cell_timed(cell_dict: dict[str, Any], timeout_s: float | None) -> dict[
             if previous is not None:  # handler install itself may have failed
                 signal.signal(signal.SIGALRM, previous)
         record["wall_time_s"] = round(time.perf_counter() - start, 4)
+    if (
+        want_timeout
+        and not use_alarm
+        and record["status"] == "ok"
+        and record["wall_time_s"] > timeout_s
+    ):
+        # no watchdog could interrupt the cell; flag the overrun post-hoc so
+        # sweeps gated on timeouts do not silently absorb unbounded cells
+        record["status"] = "timeout-unsupported"
+        record["error"] = (
+            f"cell exceeded {timeout_s:g}s budget ({record['wall_time_s']:.1f}s) "
+            "but SIGALRM was unavailable to interrupt it"
+        )
     return record
 
 

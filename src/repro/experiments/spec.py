@@ -465,6 +465,62 @@ _register(
 
 _register(
     ScenarioSpec(
+        name="scale",
+        description=(
+            "Vectorized-core scaling: n up to 50k vertices across high-degree, "
+            "low-degree, and Voronoi regimes (wall-time is the headline metric)"
+        ),
+        workloads=(
+            WorkloadSpec.of(
+                "low_degree",
+                n_vertices=50_000,
+                target_degree=8,
+                cluster_size=1,
+                topology="star",
+            ),
+            WorkloadSpec.of(
+                "low_degree",
+                n_vertices=20_000,
+                target_degree=12,
+                cluster_size=2,
+                topology="star",
+            ),
+            WorkloadSpec.of("voronoi", n=50_000, avg_degree=10.0, n_clusters=12_500),
+            WorkloadSpec.of("congest", n=20_000, avg_degree=24.0),
+            WorkloadSpec.of(
+                "high_degree", n_vertices=8_000, avg_degree=400.0, cluster_size=1
+            ),
+        ),
+        seeds=(0,),
+        instance_seeds=(0,),
+        cell_timeout_s=1800.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="scale_smoke",
+        description="CI-fast miniature of the scale suite (same families, small n)",
+        workloads=(
+            WorkloadSpec.of(
+                "low_degree",
+                n_vertices=2_000,
+                target_degree=8,
+                cluster_size=1,
+                topology="star",
+            ),
+            WorkloadSpec.of("voronoi", n=2_000, avg_degree=10.0, n_clusters=500),
+            WorkloadSpec.of(
+                "high_degree", n_vertices=600, avg_degree=150.0, cluster_size=1
+            ),
+        ),
+        seeds=(0,),
+        cell_timeout_s=300.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
         name="full",
         description="Every workload family, auto regime, three seeds",
         workloads=(

@@ -1,0 +1,39 @@
+"""Vectorized CSR graph core.
+
+The conflict graphs (:class:`~repro.cluster.cluster_graph.ClusterGraph`,
+:class:`~repro.cluster.virtual_graph.VirtualGraph`) build a compressed
+sparse row (CSR) adjacency once at construction; the batched numpy kernels
+here run the coloring layer's hot paths -- conflict checks, used-color
+discovery, slack counting, properness checking -- over whole vertex sets at
+once instead of per-vertex Python loops.
+
+Kernels are pure functions of ``(csr, colors, vertices)``; they draw no
+randomness and charge no ledger costs, so swapping them in for the legacy
+per-vertex loops preserves RNG draw order, ledger accounting, and the exact
+colorings of pinned seeds (property-tested in ``tests/test_graphcore.py``).
+"""
+
+from repro.graphcore.csr import CSRAdjacency, csr_of
+from repro.graphcore.kernels import (
+    batch_conflict_mask,
+    batch_neighbor_colors,
+    batch_slack_counts,
+    batch_used_color_masks,
+    gather_neighborhoods,
+    is_proper_edges,
+    neighborhood_max_rows,
+    violations_edges,
+)
+
+__all__ = [
+    "CSRAdjacency",
+    "csr_of",
+    "batch_conflict_mask",
+    "batch_neighbor_colors",
+    "batch_slack_counts",
+    "batch_used_color_masks",
+    "gather_neighborhoods",
+    "is_proper_edges",
+    "neighborhood_max_rows",
+    "violations_edges",
+]

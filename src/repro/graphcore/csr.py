@@ -1,0 +1,93 @@
+"""Compressed sparse row adjacency for conflict graphs.
+
+The layout is the classic ``indptr``/``indices`` pair (both int64):
+``indices[indptr[v]:indptr[v+1]]`` is the sorted neighbor list of ``v``.
+Both conflict-graph classes build one at construction; the batched kernels
+in :mod:`repro.graphcore.kernels` consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import chain
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class CSRAdjacency:
+    """Immutable CSR view of an undirected graph's adjacency.
+
+    Attributes
+    ----------
+    indptr:
+        int64 array of shape ``(n + 1,)``; neighbor slice boundaries.
+    indices:
+        int64 array of shape ``(2m,)``; concatenated neighbor lists.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    _edge_arrays: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_adj_lists(cls, adj: Sequence[Sequence[int]]) -> "CSRAdjacency":
+        """Build from per-vertex neighbor lists (one pass, no copies kept)."""
+        n = len(adj)
+        degrees = np.fromiter((len(a) for a in adj), dtype=np.int64, count=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        total = int(indptr[-1])
+        indices = np.fromiter(
+            chain.from_iterable(adj), dtype=np.int64, count=total
+        )
+        return cls(indptr=indptr, indices=indices)
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices."""
+        return int(self.indptr.size - 1)
+
+    @property
+    def n_directed_edges(self) -> int:
+        """Size of ``indices`` (twice the undirected edge count)."""
+        return int(self.indices.size)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-vertex degree array (a view-free diff of ``indptr``)."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbor array of ``v`` -- a zero-copy slice of ``indices``."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Undirected edge list as ``(u, v)`` arrays with ``u < v``
+        (derived once from the CSR and cached; the vectorized properness
+        checker iterates this instead of a Python edge loop)."""
+        if self._edge_arrays is None:
+            sources = np.repeat(
+                np.arange(self.n_vertices, dtype=np.int64), self.degrees
+            )
+            keep = sources < self.indices
+            self._edge_arrays = (sources[keep], self.indices[keep].copy())
+        return self._edge_arrays
+
+
+def csr_of(graph) -> CSRAdjacency:
+    """The graph's CSR backbone, or an ad-hoc one for duck-typed stand-ins.
+
+    Real conflict graphs expose ``.csr`` (built in ``__post_init__``); test
+    doubles that only implement ``neighbors()`` get a throwaway build so
+    every kernel call site can stay branch-free.
+    """
+    csr = getattr(graph, "csr", None)
+    if csr is not None:
+        return csr
+    return CSRAdjacency.from_adj_lists(
+        [graph.neighbors(v) for v in range(graph.n_vertices)]
+    )

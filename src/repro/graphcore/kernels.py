@@ -1,0 +1,222 @@
+"""Batched numpy kernels over CSR adjacencies.
+
+Each kernel answers, for a whole array of query vertices at once, a question
+the coloring layer used to ask one vertex at a time: which colors do my
+neighbors hold, does my proposal conflict, how much slack do I have.  The
+shared workhorse is :func:`gather_neighborhoods`, which flattens the CSR
+neighbor segments of the query vertices into one pair of aligned arrays
+(segment id, neighbor id) so every downstream question becomes a masked
+``bincount``.
+
+Kernels are deterministic and side-effect free: no RNG, no ledger charges,
+no mutation of ``colors``.  They therefore change *nothing* about what the
+simulated algorithms compute -- only how fast the simulation computes it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphcore.csr import CSRAdjacency
+
+# Kept in sync with repro.coloring.types.UNCOLORED (a one-line protocol
+# constant, duplicated to keep this layer free of import cycles).
+UNCOLORED = -1
+
+
+def _as_vertex_array(vertices) -> np.ndarray:
+    arr = np.asarray(vertices, dtype=np.int64)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return arr
+
+
+def gather_neighborhoods(
+    csr: CSRAdjacency, vertices
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten the neighbor segments of ``vertices``.
+
+    Returns ``(seg_ids, flat_neighbors)``: aligned int64 arrays where
+    ``flat_neighbors[k]`` is a neighbor of ``vertices[seg_ids[k]]``.
+    Segments appear in query order; within a segment, neighbors keep their
+    CSR (sorted) order.
+    """
+    verts = _as_vertex_array(vertices)
+    starts = csr.indptr[verts]
+    counts = csr.indptr[verts + 1] - starts
+    total = int(counts.sum())
+    seg_ids = np.repeat(np.arange(verts.size, dtype=np.int64), counts)
+    if total == 0:
+        return seg_ids, np.empty(0, dtype=np.int64)
+    seg_starts = np.cumsum(counts) - counts  # segment offsets in the flat view
+    positions = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - seg_starts, counts
+    )
+    return seg_ids, csr.indices[positions]
+
+
+def batch_neighbor_colors(
+    csr: CSRAdjacency, colors: np.ndarray, vertices
+) -> tuple[np.ndarray, np.ndarray]:
+    """Colors held by the neighbors of each query vertex.
+
+    Returns ``(seg_ids, flat_colors)`` aligned as in
+    :func:`gather_neighborhoods`; ``flat_colors`` may contain ``UNCOLORED``.
+    """
+    seg_ids, flat = gather_neighborhoods(csr, vertices)
+    return seg_ids, colors[flat]
+
+
+def batch_conflict_mask(
+    csr: CSRAdjacency,
+    colors: np.ndarray,
+    vertices,
+    candidates,
+    *,
+    proposal_map: np.ndarray | None = None,
+    symmetric: bool = False,
+) -> np.ndarray:
+    """Whether each vertex's candidate color is blocked (Algorithm 17 step 4).
+
+    ``vertices[i]`` proposes ``candidates[i]``.  A proposal is blocked when a
+    neighbor already *holds* the color, or -- if ``proposal_map`` is given
+    (an n-sized array mapping vertex -> proposed color, with a non-color
+    sentinel elsewhere) -- when a neighbor *proposes* the same color: any
+    such neighbor under the symmetric rule, only smaller-ID neighbors under
+    the default smaller-ID-wins rule.
+
+    Returns a boolean array over the query vertices.
+    """
+    verts = _as_vertex_array(vertices)
+    cands = _as_vertex_array(candidates)
+    seg_ids, flat = gather_neighborhoods(csr, verts)
+    flat_cand = cands[seg_ids]
+    conflict = colors[flat] == flat_cand
+    if proposal_map is not None:
+        same_proposal = proposal_map[flat] == flat_cand
+        if not symmetric:
+            same_proposal &= flat < verts[seg_ids]
+        conflict |= same_proposal
+    return np.bincount(seg_ids[conflict], minlength=verts.size) > 0
+
+
+def _used_mask_from_flat(
+    seg_ids: np.ndarray, flat_colors: np.ndarray, n_rows: int, num_colors: int
+) -> np.ndarray:
+    """Shared mask builder: row ``i`` marks the colors appearing among the
+    gathered neighbor colors of query vertex ``i`` (``UNCOLORED`` and
+    out-of-palette values ignored)."""
+    mask = np.zeros((n_rows, num_colors), dtype=bool)
+    valid = (flat_colors >= 0) & (flat_colors < num_colors)
+    mask[seg_ids[valid], flat_colors[valid]] = True
+    return mask
+
+
+def batch_used_color_masks(
+    csr: CSRAdjacency, colors: np.ndarray, vertices, num_colors: int
+) -> np.ndarray:
+    """Boolean matrix ``(len(vertices), num_colors)``: entry ``[i, c]`` is
+    True iff some neighbor of ``vertices[i]`` holds color ``c``.
+
+    One gather replaces per-vertex ``set(neighbor colors)`` construction;
+    rows double as palette complements (``~row`` = free colors).
+    """
+    verts = _as_vertex_array(vertices)
+    seg_ids, flat_colors = batch_neighbor_colors(csr, colors, verts)
+    return _used_mask_from_flat(seg_ids, flat_colors, verts.size, num_colors)
+
+
+def batch_slack_counts(
+    csr: CSRAdjacency,
+    colors: np.ndarray,
+    vertices,
+    num_colors: int,
+    *,
+    active_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """``s_φ(v) = |L_φ(v)| - deg_φ(v; H')`` for every query vertex
+    (Section 3.1), in one pass.
+
+    ``active_mask`` optionally restricts the uncolored-degree term to an
+    active subgraph ``H'`` (an n-sized boolean array), mirroring the
+    ``among`` parameter of ``PartialColoring.slack``.
+    """
+    verts = _as_vertex_array(vertices)
+    seg_ids, flat = gather_neighborhoods(csr, verts)
+    flat_colors = colors[flat]
+    used_mask = _used_mask_from_flat(seg_ids, flat_colors, verts.size, num_colors)
+    free_counts = num_colors - used_mask.sum(axis=1)
+    uncolored = flat_colors == UNCOLORED
+    if active_mask is not None:
+        uncolored &= active_mask[flat]
+    uncolored_deg = np.bincount(seg_ids[uncolored], minlength=verts.size)
+    return free_counts - uncolored_deg
+
+
+def neighborhood_max_rows(
+    csr: CSRAdjacency,
+    rows: np.ndarray,
+    *,
+    empty_value: int,
+    flat_chunk: int = 1 << 22,
+) -> np.ndarray:
+    """``out[v] = max over u in N(v) of rows[u]`` for every vertex at once.
+
+    The fingerprint workhorse (Lemma 5.8 / buddy predicate): a segmented
+    ``maximum.reduceat`` over the CSR layout replaces the ``np.maximum.at``
+    scatter (which loops per edge inside numpy) *and* avoids materializing
+    the full ``(2m, trials)`` gather -- neighbor rows are gathered in flat
+    chunks of at most ``flat_chunk`` entries, split on segment boundaries.
+
+    Vertices with empty neighborhoods get ``empty_value`` rows.
+    """
+    n = csr.n_vertices
+    t = int(rows.shape[1])
+    out = np.full((n, t), empty_value, dtype=rows.dtype)
+    if csr.indices.size == 0 or t == 0:
+        return out
+    row_budget = max(1, flat_chunk // max(1, t))
+    lo = 0
+    while lo < n:
+        # grow the vertex block until its flat neighbor count hits budget
+        hi = int(
+            np.searchsorted(csr.indptr, csr.indptr[lo] + row_budget, side="left")
+        )
+        hi = max(hi, lo + 1)
+        hi = min(hi, n)
+        flat = csr.indices[csr.indptr[lo] : csr.indptr[hi]]
+        if flat.size:
+            counts = np.diff(csr.indptr[lo : hi + 1])
+            nonempty = counts > 0
+            starts = (csr.indptr[lo:hi] - csr.indptr[lo])[nonempty]
+            reduced = np.maximum.reduceat(rows[flat], starts, axis=0)
+            out[lo:hi][nonempty] = reduced
+        lo = hi
+    return out
+
+
+def is_proper_edges(
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    colors: np.ndarray,
+    *,
+    allow_partial: bool = False,
+) -> bool:
+    """Vectorized properness check over an explicit edge list."""
+    cu = colors[edge_u]
+    cv = colors[edge_v]
+    has_uncolored = (cu == UNCOLORED) | (cv == UNCOLORED)
+    if not allow_partial and bool(has_uncolored.any()):
+        return False
+    return not bool(((cu == cv) & ~has_uncolored).any())
+
+
+def violations_edges(
+    edge_u: np.ndarray, edge_v: np.ndarray, colors: np.ndarray
+) -> list[tuple[int, int]]:
+    """All monochromatic edges of an explicit edge list, as int pairs."""
+    cu = colors[edge_u]
+    bad = (cu != UNCOLORED) & (cu == colors[edge_v])
+    return [
+        (int(u), int(v)) for u, v in zip(edge_u[bad], edge_v[bad])
+    ]

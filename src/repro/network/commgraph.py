@@ -4,6 +4,10 @@ Machines are integers ``0..n-1``; links are undirected pairs.  ``CommGraph``
 is deliberately minimal and immutable-after-construction: algorithms never
 mutate the network, they only send messages over it (accounted for by
 :mod:`repro.network.ledger`).
+
+Adjacency is stored as CSR (``indptr``/``indices`` int64 arrays) built in
+one vectorized pass -- construction used to be the wall-clock floor of every
+50k-machine scale instance.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 import networkx as nx
+import numpy as np
 
 
 class CommGraph:
@@ -25,25 +30,41 @@ class CommGraph:
         links are collapsed.
     """
 
-    __slots__ = ("n", "_adj", "_m")
+    __slots__ = ("n", "_indptr", "_indices", "_link_u", "_link_v", "_m")
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]]):
         if n <= 0:
             raise ValueError(f"need at least one machine, got n={n}")
         self.n = n
-        adj: list[set[int]] = [set() for _ in range(n)]
-        m = 0
-        for u, v in edges:
-            if u == v:
-                raise ValueError(f"self-loop on machine {u}")
-            if not (0 <= u < n and 0 <= v < n):
-                raise ValueError(f"link ({u},{v}) out of range for n={n}")
-            if v not in adj[u]:
-                adj[u].add(v)
-                adj[v].add(u)
-                m += 1
-        self._adj = [sorted(s) for s in adj]
-        self._m = m
+        if isinstance(edges, np.ndarray):
+            arr = edges.astype(np.int64, copy=False).reshape(-1, 2)
+        else:
+            arr = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        if arr.size:
+            loops = arr[:, 0] == arr[:, 1]
+            if loops.any():
+                raise ValueError(
+                    f"self-loop on machine {int(arr[loops][0, 0])}"
+                )
+            bad = (arr < 0) | (arr >= n)
+            if bad.any():
+                u, v = arr[bad.any(axis=1)][0]
+                raise ValueError(f"link ({int(u)},{int(v)}) out of range for n={n}")
+            lo = np.minimum(arr[:, 0], arr[:, 1])
+            hi = np.maximum(arr[:, 0], arr[:, 1])
+            codes = np.unique(lo * n + hi)
+            self._link_u = codes // n
+            self._link_v = codes % n
+        else:
+            self._link_u = np.empty(0, dtype=np.int64)
+            self._link_v = np.empty(0, dtype=np.int64)
+        self._m = int(self._link_u.size)
+        src = np.concatenate([self._link_u, self._link_v])
+        dst = np.concatenate([self._link_v, self._link_u])
+        order = np.lexsort((dst, src))
+        self._indices = dst[order]
+        self._indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=self._indptr[1:])
 
     # ---- basic accessors ---------------------------------------------------
 
@@ -53,33 +74,31 @@ class CommGraph:
         return self._m
 
     def neighbors(self, machine: int) -> Sequence[int]:
-        """Machines adjacent to ``machine`` (sorted)."""
-        return self._adj[machine]
+        """Machines adjacent to ``machine`` (sorted; zero-copy CSR slice)."""
+        return self._indices[self._indptr[machine] : self._indptr[machine + 1]]
 
     def degree(self, machine: int) -> int:
         """Number of links incident to ``machine``."""
-        return len(self._adj[machine])
+        return int(self._indptr[machine + 1] - self._indptr[machine])
 
     def has_link(self, u: int, v: int) -> bool:
         """Whether machines ``u`` and ``v`` share a link."""
-        a, b = self._adj[u], self._adj[v]
-        # binary search the shorter list
-        src, tgt = (a, v) if len(a) <= len(b) else (b, u)
-        lo, hi = 0, len(src)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if src[mid] < tgt:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo < len(src) and src[lo] == tgt
+        a = self.neighbors(u)
+        b = self.neighbors(v)
+        src, tgt = (a, v) if a.size <= b.size else (b, u)
+        i = int(np.searchsorted(src, tgt))
+        return i < src.size and int(src[i]) == tgt
+
+    def link_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All links as parallel ``(u, v)`` int64 arrays with ``u < v``,
+        lexicographically sorted (the vectorized construction input of
+        :meth:`ClusterGraph.from_assignment`)."""
+        return self._link_u, self._link_v
 
     def iter_links(self) -> Iterator[tuple[int, int]]:
-        """All links, each once, as ``(u, v)`` with ``u < v``."""
-        for u in range(self.n):
-            for v in self._adj[u]:
-                if u < v:
-                    yield (u, v)
+        """All links, each once, as ``(u, v)`` with ``u < v`` (sorted)."""
+        for u, v in zip(self._link_u.tolist(), self._link_v.tolist()):
+            yield (u, v)
 
     # ---- interop ------------------------------------------------------------
 
@@ -98,15 +117,16 @@ class CommGraph:
 
     def is_connected_subset(self, machines: Sequence[int]) -> bool:
         """Whether ``G[machines]`` is connected (BFS restricted to the set)."""
-        if not machines:
+        if len(machines) == 0:
             return False
-        member = set(machines)
-        seen = {machines[0]}
-        frontier = [machines[0]]
+        member = set(int(m) for m in machines)
+        start = int(machines[0])
+        seen = {start}
+        frontier = [start]
         while frontier:
             nxt = []
             for u in frontier:
-                for v in self._adj[u]:
+                for v in self.neighbors(u).tolist():
                     if v in member and v not in seen:
                         seen.add(v)
                         nxt.append(v)

@@ -18,7 +18,19 @@ UNCOLORED = -1
 
 def is_proper(graph, colors: np.ndarray, *, allow_partial: bool = False) -> bool:
     """Whether ``colors`` is a proper (partial) coloring of the conflict
-    graph: endpoints of every edge differ (``⊥`` clashes with nothing)."""
+    graph: endpoints of every edge differ (``⊥`` clashes with nothing).
+
+    Conflict graphs with a CSR backbone (``h_edge_arrays``) are checked in
+    one vectorized pass; duck-typed graphs fall back to the edge loop.
+    """
+    edge_arrays = getattr(graph, "h_edge_arrays", None)
+    if edge_arrays is not None:
+        from repro.graphcore import is_proper_edges
+
+        edge_u, edge_v = edge_arrays()
+        return is_proper_edges(
+            edge_u, edge_v, colors, allow_partial=allow_partial
+        )
     for u, v in graph.iter_h_edges():
         cu, cv = int(colors[u]), int(colors[v])
         if cu == UNCOLORED or cv == UNCOLORED:
@@ -31,7 +43,14 @@ def is_proper(graph, colors: np.ndarray, *, allow_partial: bool = False) -> bool
 
 
 def violations(graph, colors: np.ndarray) -> list[tuple[int, int]]:
-    """All monochromatic edges (diagnostics for failed runs)."""
+    """All monochromatic edges (diagnostics for failed runs), in
+    ``(u, v)``, ``u < v``, lexicographic order."""
+    edge_arrays = getattr(graph, "h_edge_arrays", None)
+    if edge_arrays is not None:
+        from repro.graphcore import violations_edges
+
+        edge_u, edge_v = edge_arrays()
+        return violations_edges(edge_u, edge_v, colors)
     bad = []
     for u, v in graph.iter_h_edges():
         cu, cv = int(colors[u]), int(colors[v])

@@ -186,19 +186,40 @@ def cabal_instance(
     )
 
 
+def _random_network(
+    rng: np.random.Generator, n: int, p: float, avg_degree: float | None
+) -> nx.Graph:
+    """One connected G(n, p) draw.
+
+    When ``avg_degree`` is given it overrides ``p`` with ``avg_degree/(n-1)``
+    and switches to the O(n + m) sampler, which is what makes 50k-machine
+    instances generable at all; the default dense sampler is kept for every
+    historical call site so pinned instance seeds keep drawing the exact
+    same graphs.
+    """
+    seed = int(rng.integers(0, 2**31))
+    if avg_degree is not None:
+        p = min(1.0, avg_degree / max(1, n - 1))
+        g = nx.fast_gnp_random_graph(n, p, seed=seed)
+    else:
+        g = nx.erdos_renyi_graph(n, p, seed=seed)
+    components = list(nx.connected_components(g))
+    for i in range(len(components) - 1):
+        g.add_edge(next(iter(components[i])), next(iter(components[i + 1])))
+    return g
+
+
 def congest_instance(
-    rng: np.random.Generator, *, n: int = 300, p: float | None = None
+    rng: np.random.Generator,
+    *,
+    n: int = 300,
+    p: float | None = None,
+    avg_degree: float | None = None,
 ) -> Workload:
     """``H = G``: the CONGEST special case the paper strictly generalizes."""
     if p is None:
         p = min(1.0, 8.0 / n + 0.05)
-    g = nx.erdos_renyi_graph(n, p, seed=int(rng.integers(0, 2**31)))
-    # keep it connected for Voronoi/identity builders
-    components = list(nx.connected_components(g))
-    for i in range(len(components) - 1):
-        u = next(iter(components[i]))
-        v = next(iter(components[i + 1]))
-        g.add_edge(u, v)
+    g = _random_network(rng, n, p, avg_degree)
     comm = CommGraph.from_networkx(g)
     return Workload(
         name="congest",
@@ -209,15 +230,17 @@ def congest_instance(
 
 
 def contraction_instance(
-    rng: np.random.Generator, *, n: int = 600, p: float = 0.02, fraction: float = 0.5
+    rng: np.random.Generator,
+    *,
+    n: int = 600,
+    p: float = 0.02,
+    fraction: float = 0.5,
+    avg_degree: float | None = None,
 ) -> Workload:
     """Cluster graph obtained by contracting a random forest of a random
     network -- how cluster graphs arise in flow/decomposition algorithms.
     """
-    g = nx.erdos_renyi_graph(n, p, seed=int(rng.integers(0, 2**31)))
-    components = list(nx.connected_components(g))
-    for i in range(len(components) - 1):
-        g.add_edge(next(iter(components[i])), next(iter(components[i + 1])))
+    g = _random_network(rng, n, p, avg_degree)
     comm = CommGraph.from_networkx(g)
     return Workload(
         name="contraction",
@@ -228,13 +251,15 @@ def contraction_instance(
 
 
 def voronoi_instance(
-    rng: np.random.Generator, *, n: int = 600, p: float = 0.02, n_clusters: int = 150
+    rng: np.random.Generator,
+    *,
+    n: int = 600,
+    p: float = 0.02,
+    n_clusters: int = 150,
+    avg_degree: float | None = None,
 ) -> Workload:
     """Voronoi (BFS-region) clustering of a random network."""
-    g = nx.erdos_renyi_graph(n, p, seed=int(rng.integers(0, 2**31)))
-    components = list(nx.connected_components(g))
-    for i in range(len(components) - 1):
-        g.add_edge(next(iter(components[i])), next(iter(components[i + 1])))
+    g = _random_network(rng, n, p, avg_degree)
     comm = CommGraph.from_networkx(g)
     return Workload(
         name="voronoi",
@@ -310,21 +335,24 @@ def high_degree_instance(
     degree_fraction: float = 0.5,
     cluster_size: int = 2,
     topology: ClusterTopology = "star",
+    avg_degree: float | None = None,
 ) -> Workload:
     """A dense random conflict graph whose Delta exceeds the (scaled)
     high-degree threshold -- Theorem 1.2 territory (Experiment E1).
+
+    ``avg_degree`` switches to an absolute expected degree (sparse sampler),
+    the way large-n scale instances keep Delta above the threshold without
+    quadratic edge counts.
     """
     p = degree_fraction
-    g = nx.erdos_renyi_graph(n_vertices, p, seed=int(rng.integers(0, 2**31)))
-    components = list(nx.connected_components(g))
-    for i in range(len(components) - 1):
-        g.add_edge(next(iter(components[i])), next(iter(components[i + 1])))
+    g = _random_network(rng, n_vertices, p, avg_degree)
     graph = blowup(g, rng, cluster_size=cluster_size, topology=topology)
+    density = f"{p:.2f}" if avg_degree is None else f"d~{avg_degree:g}"
     return Workload(
         name="high_degree",
         graph=graph,
         expected_regime="high_degree",
-        notes=f"G({n_vertices}, {p:.2f}) conflict graph, clusters of {cluster_size}",
+        notes=f"G({n_vertices}, {density}) conflict graph, clusters of {cluster_size}",
     )
 
 

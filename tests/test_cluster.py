@@ -93,13 +93,29 @@ class TestClusterGraph:
         h = ClusterGraph.identity(comm)
         assert h.anti_neighbors_within(0, [0, 1, 2, 3]) == [2, 3]
 
-    def test_neighbor_array_cached(self):
+    def test_neighbor_array_is_csr_view(self):
         comm = CommGraph(3, [(0, 1), (1, 2)])
         h = ClusterGraph.identity(comm)
         a1 = h.neighbor_array(1)
-        a2 = h.neighbor_array(1)
-        assert a1 is a2
         assert list(a1) == [0, 2]
+        # zero-copy: slices share the CSR indices buffer, no per-call allocs
+        assert a1.base is h.csr.indices or a1 is h.csr.indices
+
+    def test_csr_survives_replace_and_pickle(self):
+        """The lazy ``_adj_arrays`` cache this replaces silently vanished
+        under dataclasses.replace and never reached pool workers; the CSR
+        backbone is rebuilt by ``__post_init__`` in both paths."""
+        import dataclasses
+        import pickle
+
+        comm = CommGraph(3, [(0, 1), (1, 2)])
+        h = ClusterGraph.identity(comm)
+        replaced = dataclasses.replace(h)
+        assert list(replaced.neighbor_array(1)) == [0, 2]
+        assert replaced.csr is not h.csr
+        revived = pickle.loads(pickle.dumps(h))
+        assert list(revived.neighbor_array(1)) == [0, 2]
+        assert list(revived.csr.indptr) == list(h.csr.indptr)
 
 
 class TestBuilders:

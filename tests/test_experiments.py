@@ -151,6 +151,54 @@ class TestRunner:
         record = run_cell(slow.to_dict(), timeout_s=0.01)
         assert record["status"] == "timeout"
 
+    def test_run_cell_with_timeout_off_main_thread(self):
+        """signal.signal raises ValueError off the main thread; the runner
+        must fall back to running without a watchdog instead of recording a
+        bogus error cell."""
+        import threading
+        import warnings
+
+        results = {}
+
+        def work():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                results["record"] = run_cell(
+                    TINY.cells()[0].to_dict(), timeout_s=60.0
+                )
+                results["warnings"] = [str(w.message) for w in caught]
+
+        t = threading.Thread(target=work)
+        t.start()
+        t.join()
+        record = results["record"]
+        assert record["status"] == "ok"
+        assert record["metrics"]["proper"] is True
+        assert any("SIGALRM" in w for w in results["warnings"])
+
+    def test_run_cell_budget_overrun_off_main_thread(self):
+        """With no watchdog available, a cell that overruns its budget is
+        flagged post-hoc as timeout-unsupported (metrics kept)."""
+        import threading
+        import warnings
+
+        results = {}
+
+        def work():
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                results["record"] = run_cell(
+                    TINY.cells()[0].to_dict(), timeout_s=1e-9
+                )
+
+        t = threading.Thread(target=work)
+        t.start()
+        t.join()
+        record = results["record"]
+        assert record["status"] == "timeout-unsupported"
+        assert "SIGALRM" in record["error"]
+        assert record["metrics"]["proper"] is True  # the cell did complete
+
     def test_baseline_algorithm_cell(self):
         cell = Cell.from_dict({**TINY.cells()[0].to_dict(), "algorithm": "luby"})
         record = run_cell(cell.to_dict())

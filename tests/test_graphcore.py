@@ -1,0 +1,273 @@
+"""Property tests: the batched CSR kernels must agree with the legacy
+per-vertex reference implementations on randomized instances.
+
+The contract under test is exact agreement -- the kernels replaced Python
+loops on hot paths with the promise that nothing observable changes (RNG
+draw order, ledger charges, and colorings are all preserved because the
+kernels are pure, deterministic functions).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ClusterGraph
+from repro.coloring.types import UNCOLORED, PartialColoring
+from repro.graphcore import (
+    CSRAdjacency,
+    batch_conflict_mask,
+    batch_neighbor_colors,
+    batch_slack_counts,
+    batch_used_color_masks,
+    csr_of,
+    gather_neighborhoods,
+    is_proper_edges,
+    neighborhood_max_rows,
+    violations_edges,
+)
+from repro.network import CommGraph
+from repro.sketch.fingerprint import neighborhood_maxima
+from repro.sketch.geometric import EMPTY_MAX
+from repro.verify.checker import is_proper, violations
+
+
+def random_graph(seed: int, n: int, density: float) -> ClusterGraph:
+    """A random identity-cluster graph (isolated vertices allowed)."""
+    rng = np.random.default_rng(seed)
+    m = int(density * n * (n - 1) / 2)
+    if m:
+        pairs = rng.integers(0, n, size=(m, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    else:
+        pairs = np.empty((0, 2), dtype=np.int64)
+    return ClusterGraph.identity(CommGraph(n, pairs))
+
+
+def random_coloring(
+    rng: np.random.Generator, n: int, num_colors: int
+) -> PartialColoring:
+    colors = rng.integers(-1, num_colors, size=n)
+    return PartialColoring(num_colors=num_colors, colors=colors.astype(np.int64))
+
+
+graph_params = {
+    "seed": st.integers(0, 2**31 - 1),
+    "n": st.integers(1, 40),
+    "density": st.floats(0.0, 1.0),
+}
+
+
+class TestCSRStructure:
+    @given(**graph_params)
+    @settings(max_examples=60, deadline=None)
+    def test_csr_matches_adj_lists(self, seed, n, density):
+        g = random_graph(seed, n, density)
+        assert g.csr.n_vertices == g.n_vertices
+        for v in range(g.n_vertices):
+            assert g.csr.neighbors(v).tolist() == sorted(g.adj[v])
+            assert g.neighbor_array(v).tolist() == g.adj[v]
+
+    @given(**graph_params)
+    @settings(max_examples=60, deadline=None)
+    def test_edge_arrays_match_iter_h_edges(self, seed, n, density):
+        g = random_graph(seed, n, density)
+        eu, ev = g.h_edge_arrays()
+        assert (eu < ev).all()
+        assert set(zip(eu.tolist(), ev.tolist())) == set(g.iter_h_edges())
+        assert eu.size == g.n_h_edges
+
+    def test_csr_of_duck_typed_graph(self):
+        class Stub:
+            n_vertices = 3
+
+            def neighbors(self, v):
+                return {0: [1], 1: [0, 2], 2: [1]}[v]
+
+        csr = csr_of(Stub())
+        assert csr.neighbors(1).tolist() == [0, 2]
+
+    @given(**graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_gather_neighborhoods_segments(self, seed, n, density):
+        g = random_graph(seed, n, density)
+        rng = np.random.default_rng(seed + 1)
+        verts = rng.permutation(n)[: max(1, n // 2)]
+        seg_ids, flat = gather_neighborhoods(g.csr, verts)
+        for i, v in enumerate(verts):
+            assert flat[seg_ids == i].tolist() == g.adj[int(v)]
+
+
+class TestKernelAgreement:
+    @given(**graph_params)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_neighbor_colors(self, seed, n, density):
+        g = random_graph(seed, n, density)
+        rng = np.random.default_rng(seed + 2)
+        coloring = random_coloring(rng, n, num_colors=max(2, g.max_degree + 1))
+        verts = np.arange(n)
+        seg_ids, flat_colors = batch_neighbor_colors(g.csr, coloring.colors, verts)
+        for v in range(n):
+            expected = coloring.neighbor_colors(g, v).tolist()
+            assert flat_colors[seg_ids == v].tolist() == expected
+
+    @given(symmetric=st.booleans(), **graph_params)
+    @settings(max_examples=80, deadline=None)
+    def test_batch_conflict_mask_vs_per_vertex_rule(
+        self, symmetric, seed, n, density
+    ):
+        """Algorithm 17 step 4, per-vertex reference vs batched kernel."""
+        g = random_graph(seed, n, density)
+        rng = np.random.default_rng(seed + 3)
+        q = max(2, g.max_degree + 1)
+        coloring = random_coloring(rng, n, q)
+        proposers = [v for v in range(n) if rng.random() < 0.6]
+        proposals = {v: int(rng.integers(0, q)) for v in proposers}
+        if not proposals:
+            return
+        proposal_arr = np.full(n, -2, dtype=np.int64)
+        for v, c in proposals.items():
+            proposal_arr[v] = c
+
+        def blocked_reference(v: int, c: int) -> bool:
+            nbrs = np.asarray(g.adj[v], dtype=np.int64)
+            if not nbrs.size:
+                return False
+            if (coloring.colors[nbrs] == c).any():
+                return True
+            same = proposal_arr[nbrs] == c
+            if symmetric:
+                return bool(same.any())
+            return bool((same & (nbrs < v)).any())
+
+        verts = np.fromiter(proposals.keys(), dtype=np.int64)
+        cands = np.fromiter(proposals.values(), dtype=np.int64)
+        got = batch_conflict_mask(
+            g.csr,
+            coloring.colors,
+            verts,
+            cands,
+            proposal_map=proposal_arr,
+            symmetric=symmetric,
+        )
+        expected = [blocked_reference(int(v), int(c)) for v, c in proposals.items()]
+        assert got.tolist() == expected
+
+    @given(**graph_params)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_used_color_masks(self, seed, n, density):
+        g = random_graph(seed, n, density)
+        rng = np.random.default_rng(seed + 4)
+        q = max(2, g.max_degree + 1)
+        coloring = random_coloring(rng, n, q)
+        verts = np.arange(n)
+        masks = batch_used_color_masks(g.csr, coloring.colors, verts, q)
+        for v in range(n):
+            used = {
+                int(c)
+                for c in coloring.neighbor_colors(g, v)
+                if c != UNCOLORED
+            }
+            assert set(np.flatnonzero(masks[v]).tolist()) == used
+
+    @given(among_half=st.booleans(), **graph_params)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_slack_counts_vs_scalar_slack(
+        self, among_half, seed, n, density
+    ):
+        g = random_graph(seed, n, density)
+        rng = np.random.default_rng(seed + 5)
+        q = max(2, g.max_degree + 1)
+        coloring = random_coloring(rng, n, q)
+        among = set(range(0, n, 2)) if among_half else None
+        verts = np.arange(n)
+        got = coloring.slacks(g, verts, among=among)
+        expected = [coloring.slack(g, v, among=among) for v in range(n)]
+        assert got.tolist() == expected
+
+    @given(**graph_params)
+    @settings(max_examples=60, deadline=None)
+    def test_is_proper_and_violations_vs_loop_reference(self, seed, n, density):
+        g = random_graph(seed, n, density)
+        rng = np.random.default_rng(seed + 6)
+        q = max(2, g.max_degree + 1)
+        # bias toward collisions so the proper/improper branch both fire
+        colors = rng.integers(-1, min(q, 3), size=n).astype(np.int64)
+
+        def reference(allow_partial: bool) -> bool:
+            for u, v in g.iter_h_edges():
+                cu, cv = int(colors[u]), int(colors[v])
+                if cu == UNCOLORED or cv == UNCOLORED:
+                    if not allow_partial:
+                        return False
+                    continue
+                if cu == cv:
+                    return False
+            return True
+
+        for allow_partial in (False, True):
+            assert is_proper(g, colors, allow_partial=allow_partial) == reference(
+                allow_partial
+            )
+        expected_bad = {
+            (u, v)
+            for u, v in g.iter_h_edges()
+            if colors[u] != UNCOLORED and colors[u] == colors[v]
+        }
+        assert set(violations(g, colors)) == expected_bad
+        eu, ev = g.h_edge_arrays()
+        assert is_proper_edges(eu, ev, colors) == reference(False)
+        assert set(violations_edges(eu, ev, colors)) == expected_bad
+
+    @given(
+        trials=st.integers(1, 8),
+        **graph_params,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_neighborhood_max_rows_vs_scatter_reference(
+        self, trials, seed, n, density
+    ):
+        """The segmented reduceat must equal the legacy np.maximum.at
+        scatter (kept in repro.sketch.fingerprint as the reference)."""
+        g = random_graph(seed, n, density)
+        rng = np.random.default_rng(seed + 7)
+        rows = rng.integers(0, 100, size=(n, trials)).astype(np.int16)
+        eu, ev = g.h_edge_arrays()
+        src = np.concatenate([eu, ev])
+        dst = np.concatenate([ev, eu])
+        expected = neighborhood_maxima(rows, src, dst, n)
+        got = neighborhood_max_rows(g.csr, rows, empty_value=EMPTY_MAX)
+        assert np.array_equal(got, expected)
+
+    @given(
+        trials=st.integers(1, 4),
+        chunk=st.integers(1, 64),
+        **graph_params,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_neighborhood_max_rows_chunking_invariant(
+        self, trials, chunk, seed, n, density
+    ):
+        """Chunk boundaries are an implementation detail: any flat_chunk
+        must give the same answer."""
+        g = random_graph(seed, n, density)
+        rng = np.random.default_rng(seed + 8)
+        rows = rng.integers(0, 50, size=(n, trials)).astype(np.int16)
+        full = neighborhood_max_rows(g.csr, rows, empty_value=EMPTY_MAX)
+        chunked = neighborhood_max_rows(
+            g.csr, rows, empty_value=EMPTY_MAX, flat_chunk=chunk
+        )
+        assert np.array_equal(full, chunked)
+
+
+class TestCSRFromAdjLists:
+    def test_empty_graph(self):
+        csr = CSRAdjacency.from_adj_lists([])
+        assert csr.n_vertices == 0
+        assert csr.n_directed_edges == 0
+        eu, ev = csr.edge_arrays()
+        assert eu.size == 0 and ev.size == 0
+
+    def test_isolated_vertices(self):
+        csr = CSRAdjacency.from_adj_lists([[], [2], [1], []])
+        assert csr.neighbors(0).size == 0
+        assert csr.neighbors(1).tolist() == [2]
+        assert csr.degrees.tolist() == [0, 1, 1, 0]
