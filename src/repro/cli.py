@@ -11,6 +11,9 @@ Commands
     Fingerprint-estimator demo (Lemma 5.2): estimate a hidden count.
 ``workloads``
     List the available instance generators (``--json`` for machines).
+``stream``
+    Drive a churn workload through the streaming update engine
+    (optionally racing the recolor-from-scratch baseline).
 ``sweep``
     Run a named scenario suite in parallel, write a JSONL artifact.
 ``report``
@@ -30,7 +33,7 @@ import numpy as np
 from repro import color_cluster_graph
 from repro.metrics import format_table
 from repro.params import paper, scaled
-from repro.workloads import GENERATORS
+from repro.workloads import GENERATORS, STREAMS
 
 
 def _build_workload(args) -> object:
@@ -141,6 +144,63 @@ def _cmd_workloads(args) -> int:
     else:
         print(format_table(rows))
     return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro.dynamic import run_stream
+
+    maker = GENERATORS[args.workload]
+    params = paper() if args.params == "paper" else scaled()
+    modes = ("repair", "scratch") if args.mode == "both" else (args.mode,)
+    summaries = {}
+    for mode in modes:
+        # regenerate per mode: both sides must see the identical stream
+        w = maker(np.random.default_rng(args.instance_seed))
+        _engine, result, metrics = run_stream(
+            w, params=params, seed=args.seed, mode=mode
+        )
+        summaries[mode] = metrics
+        print(f"workload: {w.name}  ({w.notes})")
+        print(
+            f"mode={mode} machines={metrics['machines']} "
+            f"vertices={metrics['vertices']} Delta={metrics['delta']} "
+            f"batches={metrics['batches']} updates={metrics['stream_updates']}"
+        )
+        if not args.quiet:
+            rows = [
+                {
+                    "batch": r.batch_index,
+                    "events": ",".join(f"{k}={v}" for k, v in r.events.items()),
+                    "dirty": r.dirty,
+                    "repaired": r.repaired,
+                    "recolor%": f"{100 * r.recolor_fraction:.2f}",
+                    "rounds_h": r.rounds_h,
+                    "bits": r.message_bits,
+                    "wall_s": f"{r.wall_time_s:.4f}",
+                }
+                for r in result.reports
+            ]
+            print(format_table(rows))
+        print(
+            f"proper={metrics['proper']} "
+            f"recolor_fraction mean={metrics['recolor_fraction_mean']:.4f} "
+            f"max={metrics['recolor_fraction_max']:.4f} "
+            f"escalations={metrics['escalations']} "
+            f"rebuilds={metrics['delta_rebuilds']} "
+            f"rounds_h={metrics['rounds_h']} bits={metrics['total_message_bits']} "
+            f"stream_wall={metrics['stream_wall_time_s']:.3f}s"
+        )
+    if len(summaries) == 2:
+        repair, scratch = summaries["repair"], summaries["scratch"]
+        advantage = scratch["stream_wall_time_s"] / max(
+            repair["stream_wall_time_s"], 1e-9
+        )
+        print(
+            f"wall-time advantage (scratch/repair): {advantage:.1f}x  "
+            f"(repair {repair['stream_wall_time_s']:.3f}s vs "
+            f"scratch {scratch['stream_wall_time_s']:.3f}s)"
+        )
+    return 0 if all(m["proper"] for m in summaries.values()) else 1
 
 
 # ---- experiment orchestration (repro.experiments) ---------------------------
@@ -272,6 +332,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_sketch.add_argument("--t", type=int, default=800)
     p_sketch.add_argument("--seed", type=int, default=0)
     p_sketch.set_defaults(func=_cmd_sketch)
+
+    p_stream = sub.add_parser(
+        "stream", help="drive a churn workload through the streaming engine"
+    )
+    p_stream.add_argument(
+        "--workload", choices=sorted(STREAMS), default="sliding_window"
+    )
+    p_stream.add_argument("--instance-seed", type=int, default=0)
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument(
+        "--mode", choices=["repair", "scratch", "both"], default="repair",
+        help="incremental repair, recolor-from-scratch, or race both",
+    )
+    p_stream.add_argument("--params", choices=["scaled", "paper"], default="scaled")
+    p_stream.add_argument(
+        "--quiet", action="store_true", help="summary only, no per-batch table"
+    )
+    p_stream.set_defaults(func=_cmd_stream)
 
     p_list = sub.add_parser("workloads", help="list instance generators")
     p_list.add_argument(

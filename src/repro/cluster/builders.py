@@ -36,23 +36,29 @@ def voronoi_clusters(
     """
     if n_clusters <= 0 or n_clusters > comm.n:
         raise ValueError(f"n_clusters={n_clusters} out of range for n={comm.n}")
-    centers = rng.choice(comm.n, size=n_clusters, replace=False)
-    assignment = [-1] * comm.n
-    frontier: list[int] = []
-    for cid, center in enumerate(centers):
-        assignment[int(center)] = cid
-        frontier.append(int(center))
-    while frontier:
-        nxt = []
-        for u in frontier:
-            for v in comm.neighbors(u):
-                if assignment[v] < 0:
-                    assignment[v] = assignment[u]
-                    nxt.append(v)
-        frontier = nxt
-    if any(a < 0 for a in assignment):
+    centers = rng.choice(comm.n, size=n_clusters, replace=False).astype(np.int64)
+    assignment = np.full(comm.n, -1, dtype=np.int64)
+    assignment[centers] = np.arange(n_clusters, dtype=np.int64)
+    # vectorized multi-source BFS: one frontier gather per level.  Ties
+    # (several frontier machines reaching the same target in one level) go
+    # to the first writer in (frontier-order, neighbor-order) -- exactly
+    # the order the per-vertex loop this replaces assigned in, so pinned
+    # instances keep the identical partition.
+    from repro.graphcore import gather_neighborhoods
+
+    csr = comm.csr
+    frontier = centers
+    while frontier.size:
+        seg_ids, flat = gather_neighborhoods(csr, frontier)
+        unvisited = assignment[flat] < 0
+        targets = flat[unvisited]
+        owners = assignment[frontier[seg_ids[unvisited]]]
+        uniq, first_idx = np.unique(targets, return_index=True)
+        assignment[uniq] = owners[first_idx]
+        frontier = uniq[np.argsort(first_idx, kind="stable")]
+    if (assignment < 0).any():
         raise ValueError("communication graph is not connected")
-    return ClusterGraph.from_assignment(comm, assignment)
+    return ClusterGraph.from_assignment(comm, assignment.tolist())
 
 
 def contraction_clusters(

@@ -68,12 +68,23 @@ class ClusterGraph:
         default=None, repr=False
     )
     _neighbor_sets: list[frozenset[int]] = field(default_factory=list, repr=False)
+    #: construction-time hand-off only: ``from_assignment`` already laid the
+    #: CSR out and derives ``adj`` from it, so rebuilding would duplicate the
+    #: lexsort pass.  Consumed (reset to None) by ``__post_init__``, so a
+    #: later ``dataclasses.replace`` rebuilds from ``adj`` as before.
+    _prebuilt_csr: CSRAdjacency | None = field(
+        default=None, repr=False, compare=False
+    )
     #: derived, never passed to __init__: rebuilt from ``adj`` on every
     #: construction (including dataclasses.replace), so it can never go stale
     csr: CSRAdjacency = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        self.csr = CSRAdjacency.from_adj_lists(self.adj)
+        if self._prebuilt_csr is not None:
+            self.csr = self._prebuilt_csr
+            self._prebuilt_csr = None
+        else:
+            self.csr = CSRAdjacency.from_adj_lists(self.adj)
 
     # ---- construction --------------------------------------------------------
 
@@ -125,13 +136,8 @@ class ClusterGraph:
         pair_codes = a * n_vertices + b
         uniq_codes = np.unique(pair_codes)
         ua, ub = uniq_codes // n_vertices, uniq_codes % n_vertices
-        src = np.concatenate([ua, ub])
-        dst = np.concatenate([ub, ua])
-        order = np.lexsort((dst, src))
-        indptr = np.zeros(n_vertices + 1, dtype=np.int64)
-        np.cumsum(np.bincount(src, minlength=n_vertices), out=indptr[1:])
-        sorted_dst = dst[order]
-        adj = [part.tolist() for part in np.split(sorted_dst, indptr[1:-1])]
+        csr = CSRAdjacency.from_edge_arrays(ua, ub, n_vertices)
+        adj = [part.tolist() for part in np.split(csr.indices, csr.indptr[1:-1])]
 
         graph = cls(
             comm=comm,
@@ -139,6 +145,7 @@ class ClusterGraph:
             clusters=clusters,
             trees=trees,
             adj=adj,
+            _prebuilt_csr=csr,
         )
         # raw material for the lazy `links` view: realizing G-links keyed by
         # H-edge code, kept as arrays until someone asks for the dict

@@ -1,0 +1,272 @@
+"""Delta-buffered CSR adjacency: the storage layer of the streaming engine.
+
+A :class:`DeltaCSR` holds an immutable :class:`~repro.graphcore.csr.CSRAdjacency`
+*base* plus small overlay buffers of edits (inserted edges, deleted edges,
+added/removed vertices).  Queries merge base and overlay on the fly; when the
+overlay grows past ``rebuild_fraction`` of the base, :meth:`compact` folds
+everything into a fresh base via :meth:`CSRAdjacency.from_edge_arrays` -- the
+classic periodic-rebuild scheme, so a long stream of small batches never
+degrades query cost.
+
+Vertex ids are stable across the lifetime of the structure: removing a vertex
+leaves a dead (edge-free) id behind rather than renumbering, so stream events
+can keep referring to the ids they were generated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphcore.csr import CSRAdjacency
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class DeltaCSR:
+    """A mutable undirected adjacency: CSR base + edit overlay.
+
+    Parameters
+    ----------
+    base:
+        The starting adjacency (vertices ``0..base.n_vertices-1`` alive).
+    rebuild_fraction:
+        Compact when overlay edits exceed this fraction of the base's
+        directed-edge count (plus a small absolute floor, so tiny graphs
+        do not rebuild on every edit).
+    """
+
+    def __init__(self, base: CSRAdjacency, *, rebuild_fraction: float = 0.25):
+        if rebuild_fraction <= 0:
+            raise ValueError("rebuild_fraction must be positive")
+        self._base = base
+        self._rebuild_fraction = rebuild_fraction
+        self._n = base.n_vertices
+        self._alive = np.ones(self._n, dtype=bool)
+        # overlay: per-vertex *sets* (symmetric); _deleted only holds base
+        # edges, _inserted only holds non-base edges -- never both
+        self._inserted: dict[int, set[int]] = {}
+        self._deleted: dict[int, set[int]] = {}
+        self._delta_ops = 0
+        self._rebuilds = 0
+        self._degrees = base.degrees.astype(np.int64)
+        self._n_edges = base.n_directed_edges // 2
+
+    # ---- size and liveness ---------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        """Total ids ever allocated (alive + dead)."""
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        """Current undirected edge count."""
+        return self._n_edges
+
+    @property
+    def n_alive(self) -> int:
+        """Number of live vertices."""
+        return int(self._alive.sum())
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        """Boolean liveness mask over all ids (read-only view)."""
+        return self._alive
+
+    def is_alive(self, v: int) -> bool:
+        return bool(self._alive[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Current per-vertex degrees (dead vertices have 0)."""
+        return self._degrees
+
+    @property
+    def max_degree(self) -> int:
+        return int(self._degrees.max()) if self._n else 0
+
+    @property
+    def pending_delta_ops(self) -> int:
+        """Overlay edits accumulated since the last compaction."""
+        return self._delta_ops
+
+    @property
+    def rebuilds(self) -> int:
+        """Number of compactions performed so far."""
+        return self._rebuilds
+
+    # ---- mutation ------------------------------------------------------------
+
+    def _check_alive(self, v: int) -> None:
+        if not (0 <= v < self._n) or not self._alive[v]:
+            raise ValueError(f"vertex {v} is not alive")
+
+    def _base_has(self, u: int, v: int) -> bool:
+        if u >= self._base.n_vertices:
+            return False
+        nbrs = self._base.neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < nbrs.size and int(nbrs[i]) == v
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is a current edge (base + overlay)."""
+        if v in self._inserted.get(u, ()):
+            return True
+        if v in self._deleted.get(u, ()):
+            return False
+        return self._base_has(u, v)
+
+    def insert_edge(self, u: int, v: int) -> None:
+        """Add undirected edge ``{u, v}``; raises if present or degenerate."""
+        self._check_alive(u)
+        self._check_alive(v)
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u}")
+        if self.has_edge(u, v):
+            raise ValueError(f"edge ({u},{v}) already present")
+        if self._base_has(u, v):  # resurrect a base edge: undo its deletion
+            self._deleted[u].discard(v)
+            self._deleted[v].discard(u)
+        else:
+            self._inserted.setdefault(u, set()).add(v)
+            self._inserted.setdefault(v, set()).add(u)
+        self._degrees[u] += 1
+        self._degrees[v] += 1
+        self._n_edges += 1
+        self._delta_ops += 1
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Remove undirected edge ``{u, v}``; raises if absent."""
+        if not self.has_edge(u, v):
+            raise ValueError(f"edge ({u},{v}) not present")
+        ins_u = self._inserted.get(u)
+        if ins_u is not None and v in ins_u:  # overlay-only edge: cancel it
+            ins_u.discard(v)
+            self._inserted[v].discard(u)
+        else:
+            self._deleted.setdefault(u, set()).add(v)
+            self._deleted.setdefault(v, set()).add(u)
+        self._degrees[u] -= 1
+        self._degrees[v] -= 1
+        self._n_edges -= 1
+        self._delta_ops += 1
+
+    def add_vertex(self) -> int:
+        """Allocate a fresh isolated vertex; returns its id."""
+        v = self._n
+        self._n += 1
+        self._alive = np.append(self._alive, True)
+        self._degrees = np.append(self._degrees, 0)
+        self._delta_ops += 1
+        return v
+
+    def remove_vertex(self, v: int) -> list[int]:
+        """Delete all of ``v``'s edges and mark it dead; returns the
+        neighbors it was detached from (the repair frontier)."""
+        self._check_alive(v)
+        detached = [int(u) for u in self.neighbors(v)]
+        for u in detached:
+            self.delete_edge(v, u)
+        self._alive[v] = False
+        self._delta_ops += 1
+        return detached
+
+    # ---- queries -------------------------------------------------------------
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Current sorted neighbor array of ``v`` (dead vertices: empty)."""
+        if v >= self._n or not self._alive[v]:
+            return _EMPTY
+        base = (
+            self._base.neighbors(v) if v < self._base.n_vertices else _EMPTY
+        )
+        dels = self._deleted.get(v)
+        if dels:
+            base = base[~np.isin(base, np.fromiter(dels, dtype=np.int64))]
+        ins = self._inserted.get(v)
+        if not ins:
+            return base
+        extra = np.fromiter(ins, dtype=np.int64, count=len(ins))
+        return np.sort(np.concatenate([base, extra]))
+
+    def gather(self, vertices) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened neighborhoods of ``vertices`` -- the delta-aware
+        counterpart of :func:`repro.graphcore.gather_neighborhoods`, aligned
+        the same way so the flat kernels consume either."""
+        verts = np.asarray(vertices, dtype=np.int64).reshape(-1)
+        segments = [self.neighbors(int(v)) for v in verts]
+        counts = np.fromiter(
+            (s.size for s in segments), dtype=np.int64, count=len(segments)
+        )
+        seg_ids = np.repeat(np.arange(verts.size, dtype=np.int64), counts)
+        flat = (
+            np.concatenate(segments) if segments else _EMPTY
+        )
+        return seg_ids, flat if flat.size else _EMPTY
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current undirected edge list as ``(u, v)`` arrays with ``u < v``
+        (the properness checker's input; merged from base + overlay)."""
+        base_u, base_v = self._base.edge_arrays()
+        if self._deleted and any(self._deleted.values()):
+            codes = base_u * self._n + base_v
+            dead = np.fromiter(
+                (
+                    (u * self._n + w) if u < w else (w * self._n + u)
+                    for u, ws in self._deleted.items()
+                    for w in ws
+                    if u < w
+                ),
+                dtype=np.int64,
+            )
+            keep = ~np.isin(codes, dead)
+            base_u, base_v = base_u[keep], base_v[keep]
+        ins_pairs = [
+            (u, w)
+            for u, ws in self._inserted.items()
+            for w in ws
+            if u < w
+        ]
+        if not ins_pairs:
+            return base_u, base_v
+        ins = np.asarray(ins_pairs, dtype=np.int64)
+        return (
+            np.concatenate([base_u, ins[:, 0]]),
+            np.concatenate([base_v, ins[:, 1]]),
+        )
+
+    # ---- compaction ----------------------------------------------------------
+
+    def should_compact(self) -> bool:
+        """Whether the overlay has outgrown the rebuild budget."""
+        budget = max(64, int(self._rebuild_fraction * max(1, 2 * self._n_edges)))
+        return self._delta_ops > budget
+
+    def compact(self) -> CSRAdjacency:
+        """Fold the overlay into a fresh base CSR and return it."""
+        edge_u, edge_v = self.edge_arrays()
+        self._base = CSRAdjacency.from_edge_arrays(edge_u, edge_v, self._n)
+        self._inserted = {}
+        self._deleted = {}
+        self._delta_ops = 0
+        self._rebuilds += 1
+        return self._base
+
+    def maybe_compact(self) -> bool:
+        """Compact if past the rebuild budget; returns whether it happened."""
+        if self.should_compact():
+            self.compact()
+            return True
+        return False
+
+    def as_csr(self) -> CSRAdjacency:
+        """A CSR equal to the *current* adjacency.
+
+        Returns the base directly when the overlay is clean; otherwise
+        builds a throwaway CSR without clearing the overlay (rebuild policy
+        stays with :meth:`maybe_compact`).
+        """
+        if self._delta_ops == 0 and self._n == self._base.n_vertices:
+            return self._base
+        edge_u, edge_v = self.edge_arrays()
+        return CSRAdjacency.from_edge_arrays(edge_u, edge_v, self._n)

@@ -1,0 +1,86 @@
+"""Shared stream execution: one entry point for the CLI and the sweep runner.
+
+:func:`run_stream` consumes a :class:`~repro.workloads.streams.StreamWorkload`
+through a :class:`~repro.dynamic.engine.DynamicColoring` in either mode and
+returns the artifact-ready metrics dict, so ``repro stream`` and stream
+sweep cells report identical quantities.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.dynamic.engine import DynamicColoring, StreamResult
+from repro.params import AlgorithmParameters
+
+
+def run_stream(
+    workload,
+    *,
+    params: AlgorithmParameters | None = None,
+    seed: int = 0,
+    mode: str = "repair",
+    verify_each_batch: bool = True,
+) -> tuple[DynamicColoring, StreamResult, dict[str, Any]]:
+    """Bootstrap, absorb every batch, and summarize.
+
+    Returns ``(engine, result, metrics)``; ``metrics`` carries the static
+    cell fields (sizes, Delta, dilation of the *initial* graph) plus the
+    stream-specific ones.  ``wall_time_s`` inside the metrics covers only
+    the batch loop (``stream_wall_time_s``); the sweep runner separately
+    records whole-cell wall time, which additionally includes workload
+    generation and the bootstrap coloring (identical for both modes).
+    """
+    graph = workload.graph
+    batches = getattr(workload, "batches", None)
+    if batches is None:
+        raise ValueError(
+            f"workload {workload.name!r} has no update stream; "
+            "stream modes need a StreamWorkload"
+        )
+    bootstrap_start = time.perf_counter()
+    # map the cell-algorithm alias; anything unrecognized falls through to
+    # DynamicColoring's own mode validation rather than silently running
+    # repair under a baseline label
+    engine_mode = "scratch" if mode == "recolor_scratch" else mode
+    engine = DynamicColoring(
+        graph,
+        params=params,
+        seed=seed,
+        mode=engine_mode,
+        verify_each_batch=verify_each_batch,
+    )
+    bootstrap_s = time.perf_counter() - bootstrap_start
+    result = engine.run(batches)
+    ledger = engine.ledger.summary()
+    alive_colors = engine.colors[engine.delta.alive_mask]
+    metrics: dict[str, Any] = {
+        "machines": graph.n_machines,
+        "vertices": graph.n_vertices,
+        "delta": graph.max_degree,
+        "dilation": graph.dilation,
+        "bandwidth_cap_bits": engine.ledger.bandwidth_bits,
+        "num_colors": engine.num_colors,
+        "regime_effective": "stream",
+        "rounds_h": ledger["rounds_h"],
+        "rounds_g": ledger["rounds_g"],
+        "total_message_bits": ledger["total_message_bits"],
+        "max_message_bits": ledger["max_message_bits"],
+        "colors_used": len(set(alive_colors.tolist())),
+        "proper": bool(result.all_proper),
+        "fallbacks": result.escalations,
+        "retries": 0,
+        "batches": result.batches,
+        "stream_updates": sum(len(b) for b in batches),
+        "repaired_vertices": result.total_repaired,
+        "recolor_fraction_mean": result.mean_recolor_fraction,
+        "recolor_fraction_max": result.max_recolor_fraction,
+        "escalations": result.escalations,
+        "delta_rebuilds": engine.delta.rebuilds,
+        "bootstrap_wall_time_s": round(bootstrap_s, 4),
+        "stream_wall_time_s": round(result.wall_time_s, 4),
+        "vertices_final": engine.n_alive,
+        "delta_final": engine.max_degree,
+    }
+    return engine, result, metrics

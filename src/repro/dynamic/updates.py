@@ -1,0 +1,114 @@
+"""Update vocabulary of the streaming engine.
+
+A stream is a sequence of :class:`UpdateBatch` objects; each batch is an
+unordered set of structural events the network absorbed "since the last
+tick": links appearing/disappearing between clusters (H-edge insert/delete),
+clusters arriving or departing wholesale (vertex add/remove), and cluster
+membership churn (merge/split).  The engine applies a batch atomically and
+repairs the coloring once per batch, which is the granularity all stats and
+ledger charges are reported at.
+
+Vertex ids are assigned sequentially by the engine (``next_vertex_id``);
+generators mirror that rule so batches can reference vertices they create.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Update kinds, in application order within a batch (removals before
+#: insertions so a batch can recycle capacity; merges/splits last so they
+#: see the batch's edge churn).
+KINDS = (
+    "edge_delete",
+    "vertex_remove",
+    "vertex_add",
+    "edge_insert",
+    "cluster_merge",
+    "cluster_split",
+)
+
+
+@dataclass(frozen=True)
+class Update:
+    """One structural event.
+
+    Payload by ``kind``:
+
+    * ``edge_insert`` / ``edge_delete``: ``u``, ``v`` -- the H-edge.
+    * ``vertex_add``: ``edges`` -- neighbors of the new vertex (which gets
+      the next sequential id); ``size`` -- machines in the new cluster.
+    * ``vertex_remove``: ``u`` -- the departing vertex.
+    * ``cluster_merge``: ``u`` absorbs ``v`` (they must be H-adjacent:
+      merged clusters stay connected through a realizing link).
+    * ``cluster_split``: ``u`` splits; ``edges`` lists the neighbors that
+      move to the new half (next sequential id), ``size`` the machines it
+      takes along.  The halves stay linked by a fresh H-edge.
+    """
+
+    kind: str
+    u: int = -1
+    v: int = -1
+    edges: tuple[int, ...] = ()
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown update kind {self.kind!r}")
+
+
+@dataclass
+class UpdateBatch:
+    """One tick's worth of churn, applied and repaired atomically."""
+
+    updates: list[Update] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def counts(self) -> dict[str, int]:
+        """Events per kind (stable key order, zero-free)."""
+        out: dict[str, int] = {}
+        for kind in KINDS:
+            k = sum(1 for up in self.updates if up.kind == kind)
+            if k:
+                out[kind] = k
+        return out
+
+    def in_application_order(self) -> list[Update]:
+        """Updates sorted by kind precedence (stable within a kind)."""
+        rank = {kind: i for i, kind in enumerate(KINDS)}
+        return sorted(self.updates, key=lambda up: rank[up.kind])
+
+    # -- convenience constructors ---------------------------------------------
+
+    def edge_insert(self, u: int, v: int) -> "UpdateBatch":
+        self.updates.append(Update("edge_insert", u=u, v=v))
+        return self
+
+    def edge_delete(self, u: int, v: int) -> "UpdateBatch":
+        self.updates.append(Update("edge_delete", u=u, v=v))
+        return self
+
+    def vertex_add(self, edges: Iterable[int] = (), size: int = 1) -> "UpdateBatch":
+        self.updates.append(
+            Update("vertex_add", edges=tuple(edges), size=size)
+        )
+        return self
+
+    def vertex_remove(self, u: int) -> "UpdateBatch":
+        self.updates.append(Update("vertex_remove", u=u))
+        return self
+
+    def cluster_merge(self, u: int, v: int) -> "UpdateBatch":
+        self.updates.append(Update("cluster_merge", u=u, v=v))
+        return self
+
+    def cluster_split(
+        self, u: int, moved_neighbors: Iterable[int], size: int = 1
+    ) -> "UpdateBatch":
+        self.updates.append(
+            Update("cluster_split", u=u, edges=tuple(moved_neighbors), size=size)
+        )
+        return self

@@ -1,0 +1,106 @@
+"""Static conflict-graph views over the dynamic engine's state.
+
+The streaming engine maintains adjacency in a :class:`~repro.dynamic.delta.DeltaCSR`
+plus per-cluster metadata (machine counts, support-tree height estimates).
+When the full one-shot pipeline must run -- the recolor-from-scratch baseline
+and the engine's own escalation path -- it needs a graph exposing the
+read interface of :class:`~repro.cluster.cluster_graph.ClusterGraph`.
+:class:`FrozenConflictGraph` is that adapter: an immutable snapshot built on
+a plain CSR, exactly like :class:`~repro.cluster.virtual_graph.VirtualGraph`
+duck-types the same interface for Appendix A.
+
+Removed vertices appear as isolated (edge-free) ids so the stable-id
+contract of the stream survives the snapshot; isolated vertices cannot
+constrain anything and cost the pipeline nothing interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphcore.csr import CSRAdjacency
+
+
+@dataclass
+class FrozenConflictGraph:
+    """An immutable conflict graph defined directly by a CSR backbone.
+
+    Attributes
+    ----------
+    csr:
+        Adjacency over all allocated ids (dead ids have empty slices).
+    cluster_sizes:
+        Machines per cluster (0 for dead ids).
+    dilation:
+        Support-tree height bound carried over from the live engine.
+    """
+
+    csr: CSRAdjacency
+    cluster_sizes: np.ndarray
+    dilation: int
+    _neighbor_sets: dict[int, frozenset[int]] = field(
+        default_factory=dict, repr=False
+    )
+
+    # -- ClusterGraph-compatible read interface -------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        return self.csr.n_vertices
+
+    @property
+    def n_machines(self) -> int:
+        return int(self.cluster_sizes.sum())
+
+    @property
+    def max_degree(self) -> int:
+        degrees = self.csr.degrees
+        return int(degrees.max()) if degrees.size else 0
+
+    def degree(self, v: int) -> int:
+        return int(self.csr.indptr[v + 1] - self.csr.indptr[v])
+
+    def neighbors(self, v: int) -> list[int]:
+        return self.csr.neighbors(v).tolist()
+
+    def neighbor_array(self, v: int) -> np.ndarray:
+        return self.csr.neighbors(v)
+
+    def neighbor_set(self, v: int) -> frozenset[int]:
+        cached = self._neighbor_sets.get(v)
+        if cached is None:
+            cached = frozenset(self.csr.neighbors(v).tolist())
+            self._neighbor_sets[v] = cached
+        return cached
+
+    def are_adjacent(self, u: int, v: int) -> bool:
+        nbrs = self.csr.neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < nbrs.size and int(nbrs[i]) == v
+
+    def anti_neighbors_within(self, v: int, vertex_set) -> list[int]:
+        nbrs = self.neighbor_set(v)
+        return [u for u in vertex_set if u != v and u not in nbrs]
+
+    def cluster_size(self, v: int) -> int:
+        return int(self.cluster_sizes[v])
+
+    def iter_h_edges(self):
+        edge_u, edge_v = self.csr.edge_arrays()
+        return zip(edge_u.tolist(), edge_v.tolist())
+
+    def h_edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.csr.edge_arrays()
+
+    @property
+    def n_h_edges(self) -> int:
+        return self.csr.n_directed_edges // 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FrozenConflictGraph(vertices={self.n_vertices}, "
+            f"machines={self.n_machines}, Delta={self.max_degree}, "
+            f"dilation={self.dilation})"
+        )

@@ -51,6 +51,19 @@ METRIC_FIELDS = (
     "proper",
     "fallbacks",
     "retries",
+    # stream-cell extras (blank for one-shot cells); see
+    # repro.dynamic.harness.run_stream
+    "batches",
+    "stream_updates",
+    "repaired_vertices",
+    "recolor_fraction_mean",
+    "recolor_fraction_max",
+    "escalations",
+    "delta_rebuilds",
+    "bootstrap_wall_time_s",
+    "stream_wall_time_s",
+    "vertices_final",
+    "delta_final",
 )
 
 
@@ -214,8 +227,16 @@ def to_csv(artifact: Artifact, path: str | pathlib.Path) -> pathlib.Path:
 
 # ---- aggregation -----------------------------------------------------------
 
-#: Metrics summarized by :func:`summarize`.
-SUMMARY_METRICS = ("rounds_h", "rounds_g", "total_message_bits", "wall_time_s")
+#: Metrics summarized by :func:`summarize`.  The stream pair appears blank
+#: for one-shot cells (their records never carry those metrics).
+SUMMARY_METRICS = (
+    "rounds_h",
+    "rounds_g",
+    "total_message_bits",
+    "wall_time_s",
+    "stream_wall_time_s",
+    "recolor_fraction_mean",
+)
 
 #: ``workload_kwargs`` is part of the default grouping: size-sweep suites
 #: (e.g. e1's n_vertices grid) differ only in kwargs, and averaging across

@@ -118,6 +118,13 @@ GATEABLE_METRICS = frozenset(
         "num_colors",
         "fallbacks",
         "retries",
+        # stream cells (repro.dynamic): repair efficiency is a gateable
+        # quantity -- a regression here means the engine started recoloring
+        # more of the graph per batch
+        "repaired_vertices",
+        "recolor_fraction_mean",
+        "recolor_fraction_max",
+        "escalations",
     }
 )
 

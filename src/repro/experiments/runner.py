@@ -36,8 +36,9 @@ from repro.baselines import (
     palette_sparsification_coloring,
 )
 import repro.coloring.polylog  # noqa: F401  (lazily imported by the pipeline)
+from repro.dynamic import run_stream
 from repro.experiments import artifacts
-from repro.experiments.spec import Cell, ScenarioSpec
+from repro.experiments.spec import Cell, ScenarioSpec, STREAM_ALGORITHMS
 from repro.params import paper, scaled
 from repro.workloads import GENERATORS
 
@@ -111,7 +112,15 @@ def _execute(cell: Cell) -> dict[str, Any]:
         "bandwidth_cap_bits": params.bandwidth_bits(graph.n_machines),
         "num_colors": graph.max_degree + 1,
     }
-    if cell.algorithm == "paper":
+    if cell.algorithm in STREAM_ALGORITHMS:
+        _engine, _result, stream_metrics = run_stream(
+            workload,
+            params=params,
+            seed=cell.seed,
+            mode="repair" if cell.algorithm == "dynamic" else "scratch",
+        )
+        metrics.update(stream_metrics)
+    elif cell.algorithm == "paper":
         result = color_cluster_graph(
             graph, params=params, seed=cell.seed, regime=cell.regime
         )

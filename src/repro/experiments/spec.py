@@ -20,8 +20,24 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 #: Algorithms a cell may dispatch to.  ``paper`` is the full pipeline of
-#: Algorithm 3; the rest are the Experiment E13 comparators.
-ALGORITHMS = ("paper", "luby", "palette_sparsification", "local_gather")
+#: Algorithm 3; ``luby``/``palette_sparsification``/``local_gather`` are the
+#: Experiment E13 comparators; ``dynamic`` and ``recolor_scratch`` consume a
+#: stream workload's update batches through the streaming engine
+#: (incremental repair vs. full recolor every batch).
+ALGORITHMS = (
+    "paper",
+    "luby",
+    "palette_sparsification",
+    "local_gather",
+    "dynamic",
+    "recolor_scratch",
+)
+
+#: The one-shot comparators of Experiment E13 (static workloads only).
+ONE_SHOT_ALGORITHMS = ("paper", "luby", "palette_sparsification", "local_gather")
+
+#: The streaming-engine pair every stream suite sweeps.
+STREAM_ALGORITHMS = ("dynamic", "recolor_scratch")
 
 
 def _canonical(obj: Any) -> str:
@@ -384,7 +400,7 @@ _register(
         workloads=_sizes(
             "high_degree", (200, 500, 1000, 1600), degree_fraction=0.55, cluster_size=1
         ),
-        algorithms=ALGORITHMS,
+        algorithms=ONE_SHOT_ALGORITHMS,
         seeds=(3,),
         instance_seeds=(61,),
         cell_timeout_s=300.0,
@@ -514,6 +530,70 @@ _register(
                 "high_degree", n_vertices=600, avg_degree=150.0, cluster_size=1
             ),
         ),
+        seeds=(0,),
+        cell_timeout_s=300.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="stream",
+        description=(
+            "Streaming update engine vs. recolor-from-scratch: 20k-vertex "
+            "sliding-window turnover, hotspot skew, and cluster merge/split "
+            "traces (headline metrics: recolor fraction and wall time)"
+        ),
+        workloads=(
+            WorkloadSpec.of(
+                "sliding_window",
+                n_vertices=20_000,
+                avg_degree=8.0,
+                cluster_size=1,
+                batches=10,
+                churn_fraction=0.02,
+            ),
+            WorkloadSpec.of(
+                "hotspot_churn",
+                n_vertices=5_000,
+                avg_degree=10.0,
+                cluster_size=1,
+                batches=10,
+            ),
+            WorkloadSpec.of(
+                "cluster_churn",
+                n_vertices=2_000,
+                avg_degree=8.0,
+                cluster_size=4,
+                batches=8,
+            ),
+        ),
+        algorithms=STREAM_ALGORITHMS,
+        seeds=(0,),
+        instance_seeds=(0,),
+        cell_timeout_s=1800.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="stream_smoke",
+        description="CI-fast miniature of the stream suite (same churn families)",
+        workloads=(
+            WorkloadSpec.of(
+                "sliding_window", n_vertices=500, avg_degree=8.0, batches=6
+            ),
+            WorkloadSpec.of(
+                "hotspot_churn", n_vertices=300, avg_degree=10.0, batches=5
+            ),
+            WorkloadSpec.of(
+                "cluster_churn",
+                n_vertices=150,
+                avg_degree=8.0,
+                cluster_size=4,
+                batches=4,
+            ),
+        ),
+        algorithms=STREAM_ALGORITHMS,
         seeds=(0,),
         cell_timeout_s=300.0,
     )

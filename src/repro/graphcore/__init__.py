@@ -19,9 +19,11 @@ from repro.graphcore.kernels import (
     batch_neighbor_colors,
     batch_slack_counts,
     batch_used_color_masks,
+    conflict_mask_from_flat,
     gather_neighborhoods,
     is_proper_edges,
     neighborhood_max_rows,
+    used_color_masks_from_flat,
     violations_edges,
 )
 
@@ -32,8 +34,10 @@ __all__ = [
     "batch_neighbor_colors",
     "batch_slack_counts",
     "batch_used_color_masks",
+    "conflict_mask_from_flat",
     "gather_neighborhoods",
     "is_proper_edges",
     "neighborhood_max_rows",
+    "used_color_masks_from_flat",
     "violations_edges",
 ]

@@ -34,6 +34,46 @@ class CSRAdjacency:
     )
 
     @classmethod
+    def from_edge_arrays(
+        cls,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        n_vertices: int,
+        *,
+        dedupe: bool = False,
+    ) -> "CSRAdjacency":
+        """Build from an undirected edge list given as parallel arrays.
+
+        Each edge appears once, in either orientation; both directions are
+        laid out (mirror, lexsort, bincount/cumsum) in one vectorized pass.
+        This is the single home of the CSR-layout block that used to be
+        repeated in ``CommGraph.__init__`` and
+        ``ClusterGraph.from_assignment``, and it is what the dynamic
+        subsystem's delta-buffer compaction rebuilds through.
+
+        ``dedupe=True`` collapses duplicate edges (and accepts both
+        orientations of the same pair) before laying out; the default trusts
+        the caller to pass a duplicate-free list.
+        """
+        eu = np.asarray(edge_u, dtype=np.int64).reshape(-1)
+        ev = np.asarray(edge_v, dtype=np.int64).reshape(-1)
+        if eu.size != ev.size:
+            raise ValueError(
+                f"edge arrays differ in length ({eu.size} vs {ev.size})"
+            )
+        if dedupe and eu.size:
+            lo = np.minimum(eu, ev)
+            hi = np.maximum(eu, ev)
+            codes = np.unique(lo * n_vertices + hi)
+            eu, ev = codes // n_vertices, codes % n_vertices
+        src = np.concatenate([eu, ev])
+        dst = np.concatenate([ev, eu])
+        order = np.lexsort((dst, src))
+        indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n_vertices), out=indptr[1:])
+        return cls(indptr=indptr, indices=dst[order])
+
+    @classmethod
     def from_adj_lists(cls, adj: Sequence[Sequence[int]]) -> "CSRAdjacency":
         """Build from per-vertex neighbor lists (one pass, no copies kept)."""
         n = len(adj)

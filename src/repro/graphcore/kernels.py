@@ -90,26 +90,60 @@ def batch_conflict_mask(
     verts = _as_vertex_array(vertices)
     cands = _as_vertex_array(candidates)
     seg_ids, flat = gather_neighborhoods(csr, verts)
+    return conflict_mask_from_flat(
+        seg_ids,
+        flat,
+        colors,
+        verts,
+        cands,
+        proposal_map=proposal_map,
+        symmetric=symmetric,
+    )
+
+
+def conflict_mask_from_flat(
+    seg_ids: np.ndarray,
+    flat_neighbors: np.ndarray,
+    colors: np.ndarray,
+    vertices: np.ndarray,
+    candidates: np.ndarray,
+    *,
+    proposal_map: np.ndarray | None = None,
+    symmetric: bool = False,
+) -> np.ndarray:
+    """:func:`batch_conflict_mask` over a pre-gathered neighborhood view.
+
+    Callers that maintain adjacency outside a single CSR (the dynamic
+    subsystem's delta-buffered graphs) produce ``(seg_ids, flat_neighbors)``
+    themselves and share this resolution step with the static path.
+    """
+    verts = _as_vertex_array(vertices)
+    cands = _as_vertex_array(candidates)
     flat_cand = cands[seg_ids]
-    conflict = colors[flat] == flat_cand
+    conflict = colors[flat_neighbors] == flat_cand
     if proposal_map is not None:
-        same_proposal = proposal_map[flat] == flat_cand
+        same_proposal = proposal_map[flat_neighbors] == flat_cand
         if not symmetric:
-            same_proposal &= flat < verts[seg_ids]
+            same_proposal &= flat_neighbors < verts[seg_ids]
         conflict |= same_proposal
     return np.bincount(seg_ids[conflict], minlength=verts.size) > 0
 
 
-def _used_mask_from_flat(
+def used_color_masks_from_flat(
     seg_ids: np.ndarray, flat_colors: np.ndarray, n_rows: int, num_colors: int
 ) -> np.ndarray:
     """Shared mask builder: row ``i`` marks the colors appearing among the
     gathered neighbor colors of query vertex ``i`` (``UNCOLORED`` and
-    out-of-palette values ignored)."""
+    out-of-palette values ignored).  Public so delta-buffered adjacencies
+    (the dynamic subsystem) can feed their own gathers through it."""
     mask = np.zeros((n_rows, num_colors), dtype=bool)
     valid = (flat_colors >= 0) & (flat_colors < num_colors)
     mask[seg_ids[valid], flat_colors[valid]] = True
     return mask
+
+
+#: Backwards-compatible private alias (pre-dynamic-subsystem name).
+_used_mask_from_flat = used_color_masks_from_flat
 
 
 def batch_used_color_masks(

@@ -17,6 +17,8 @@ from typing import Iterable, Iterator, Sequence
 import networkx as nx
 import numpy as np
 
+from repro.graphcore.csr import CSRAdjacency
+
 
 class CommGraph:
     """An undirected communication network of ``n`` machines.
@@ -30,7 +32,7 @@ class CommGraph:
         links are collapsed.
     """
 
-    __slots__ = ("n", "_indptr", "_indices", "_link_u", "_link_v", "_m")
+    __slots__ = ("n", "_indptr", "_indices", "_link_u", "_link_v", "_m", "_csr")
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]]):
         if n <= 0:
@@ -59,12 +61,9 @@ class CommGraph:
             self._link_u = np.empty(0, dtype=np.int64)
             self._link_v = np.empty(0, dtype=np.int64)
         self._m = int(self._link_u.size)
-        src = np.concatenate([self._link_u, self._link_v])
-        dst = np.concatenate([self._link_v, self._link_u])
-        order = np.lexsort((dst, src))
-        self._indices = dst[order]
-        self._indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(np.bincount(src, minlength=n), out=self._indptr[1:])
+        self._csr = CSRAdjacency.from_edge_arrays(self._link_u, self._link_v, n)
+        self._indptr = self._csr.indptr
+        self._indices = self._csr.indices
 
     # ---- basic accessors ---------------------------------------------------
 
@@ -72,6 +71,13 @@ class CommGraph:
     def num_links(self) -> int:
         """Number of undirected links."""
         return self._m
+
+    @property
+    def csr(self) -> CSRAdjacency:
+        """The machine-level CSR backbone (same arrays the accessors slice);
+        lets machine-level batch work -- e.g. the vectorized Voronoi BFS --
+        run through the :mod:`repro.graphcore` kernels."""
+        return self._csr
 
     def neighbors(self, machine: int) -> Sequence[int]:
         """Machines adjacent to ``machine`` (sorted; zero-copy CSR slice)."""

@@ -158,6 +158,27 @@ class BandwidthLedger:
         self.per_op_bits[op] += bits_charged
         return effective_rounds_h
 
+    def absorb(self, summary: dict[str, int], *, op: str) -> None:
+        """Fold another execution's headline counters into this ledger.
+
+        The streaming engine runs the one-shot pipeline on a private ledger
+        when it escalates to a scratch recolor; absorbing that run's
+        :meth:`summary` under a single ``op`` label keeps the stream ledger's
+        invariants intact (``sum(per_op_rounds) == rounds_h`` and
+        ``sum(per_op_bits) == total_message_bits``).
+        """
+        rounds_h = int(summary["rounds_h"])
+        bits = int(summary["total_message_bits"])
+        self.rounds_h += rounds_h
+        self.rounds_g += int(summary["rounds_g"])
+        self.total_message_bits += bits
+        self.max_message_bits = max(
+            self.max_message_bits, int(summary["max_message_bits"])
+        )
+        self.num_operations += int(summary["num_operations"])
+        self.per_op_rounds[op] += rounds_h
+        self.per_op_bits[op] += bits
+
     def charge_local(self, op: str) -> None:
         """Record a zero-round bookkeeping operation (local computation)."""
         self.num_operations += 1

@@ -1,4 +1,11 @@
-"""Instance generators with planted ground truth (see DESIGN.md Section 2)."""
+"""Instance generators with planted ground truth (see DESIGN.md Section 2).
+
+Importing this package registers both the static families
+(:mod:`repro.workloads.generators`) and the churn streams
+(:mod:`repro.workloads.streams`) in the shared ``GENERATORS`` registry, so
+every surface -- CLI listings, sweeps, the stream runner -- resolves
+workload names through the same table.
+"""
 
 from repro.workloads.generators import (
     GENERATORS,
@@ -13,10 +20,22 @@ from repro.workloads.generators import (
     planted_acd_instance,
     voronoi_instance,
 )
+from repro.workloads.streams import (
+    STREAMS,
+    StreamWorkload,
+    cluster_churn_stream,
+    hotspot_churn_stream,
+    sliding_window_stream,
+)
 
 __all__ = [
     "GENERATORS",
+    "STREAMS",
+    "StreamWorkload",
     "Workload",
+    "cluster_churn_stream",
+    "hotspot_churn_stream",
+    "sliding_window_stream",
     "bridge_pathology",
     "cabal_instance",
     "congest_instance",

@@ -1,0 +1,353 @@
+"""Churn workload generators: streams of update batches with known shape.
+
+A :class:`StreamWorkload` is a :class:`~repro.workloads.generators.Workload`
+plus a pre-generated list of :class:`~repro.dynamic.updates.UpdateBatch`
+objects, deterministic given the rng.  Three churn families mirror how
+production cluster graphs actually move:
+
+* :func:`sliding_window_stream` -- an edge stream with a fixed-size window:
+  every batch retires the oldest links and admits fresh ones (steady-state
+  turnover, the classic dynamic-graph benchmark shape);
+* :func:`hotspot_churn_stream` -- churn concentrated on a small hot subset,
+  plus machine arrivals wired into the hotspot and departures elsewhere
+  (skewed traffic, the "heavy traffic" shape of the ROADMAP north star);
+* :func:`cluster_churn_stream` -- cluster merge/split traces with background
+  edge churn (the contraction/decomposition shape: clusters are transient).
+
+Generators validate their own events against a *shadow* of the engine's
+structural state (the same :class:`~repro.dynamic.delta.DeltaCSR` machinery),
+so every emitted batch is applicable by construction; the engine re-validates
+on application and raises on any drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.builders import ClusterTopology, blowup
+from repro.dynamic.delta import DeltaCSR
+from repro.dynamic.updates import UpdateBatch
+from repro.workloads.generators import GENERATORS, Workload, _random_network
+
+
+@dataclass
+class StreamWorkload(Workload):
+    """A churn instance: initial graph + the update batches to absorb."""
+
+    batches: list[UpdateBatch] = field(default_factory=list)
+
+    @property
+    def total_updates(self) -> int:
+        """Number of structural events across every batch."""
+        return sum(len(b) for b in self.batches)
+
+
+class _Shadow:
+    """Generator-side mirror of the engine's structural state.
+
+    Tracks just enough (adjacency + cluster sizes + liveness) to emit only
+    applicable events; the engine's own application is the authority and
+    raises if a generator ever drifts from these semantics.
+    """
+
+    def __init__(self, graph):
+        self.delta = DeltaCSR(graph.csr)
+        self.sizes = [graph.cluster_size(v) for v in range(graph.n_vertices)]
+
+    def alive_vertices(self) -> np.ndarray:
+        return np.flatnonzero(self.delta.alive_mask)
+
+    def insert(self, u: int, v: int) -> None:
+        self.delta.insert_edge(u, v)
+
+    def delete(self, u: int, v: int) -> None:
+        self.delta.delete_edge(u, v)
+
+    def add(self, edges, size: int) -> int:
+        w = self.delta.add_vertex()
+        self.sizes.append(size)
+        for x in edges:
+            self.delta.insert_edge(w, int(x))
+        return w
+
+    def remove(self, v: int) -> None:
+        self.delta.remove_vertex(v)
+        self.sizes[v] = 0
+
+    def merge(self, u: int, v: int) -> None:
+        for x in self.delta.remove_vertex(v):
+            if x != u and not self.delta.has_edge(u, x):
+                self.delta.insert_edge(u, x)
+        self.sizes[u] += self.sizes[v]
+        self.sizes[v] = 0
+
+    def split(self, u: int, moved, size: int) -> int:
+        w = self.delta.add_vertex()
+        size = max(1, min(int(size), self.sizes[u] - 1))
+        self.sizes.append(size)
+        self.sizes[u] -= size
+        for x in moved:
+            self.delta.delete_edge(u, int(x))
+            self.delta.insert_edge(w, int(x))
+        self.delta.insert_edge(u, w)
+        return w
+
+
+def _initial_graph(
+    rng: np.random.Generator,
+    n_vertices: int,
+    avg_degree: float,
+    cluster_size: int,
+    topology: ClusterTopology,
+):
+    """A connected random conflict graph blown up into clusters."""
+    h = _random_network(rng, n_vertices, 0.0, avg_degree)
+    return blowup(h, rng, cluster_size=cluster_size, topology=topology)
+
+
+def _sample_new_edge(
+    rng: np.random.Generator,
+    shadow: _Shadow,
+    pool_u: np.ndarray,
+    pool_v: np.ndarray,
+    max_tries: int = 64,
+) -> tuple[int, int] | None:
+    """A uniformly drawn currently-absent pair (endpoint pools may differ)."""
+    for _ in range(max_tries):
+        u = int(pool_u[rng.integers(0, pool_u.size)])
+        v = int(pool_v[rng.integers(0, pool_v.size)])
+        if u != v and not shadow.delta.has_edge(u, v):
+            return (u, v)
+    return None
+
+
+def sliding_window_stream(
+    rng: np.random.Generator,
+    *,
+    n_vertices: int = 300,
+    avg_degree: float = 8.0,
+    cluster_size: int = 1,
+    topology: ClusterTopology = "star",
+    batches: int = 8,
+    churn_fraction: float = 0.05,
+) -> StreamWorkload:
+    """Sliding-window edge turnover: each batch retires the
+    ``churn_fraction`` oldest edges and admits as many fresh random ones.
+
+    The live edge count (and hence the degree profile) stays roughly
+    stationary, so this isolates pure *turnover* cost -- the acceptance
+    scenario of the dynamic subsystem.
+    """
+    graph = _initial_graph(rng, n_vertices, avg_degree, cluster_size, topology)
+    shadow = _Shadow(graph)
+    edge_u, edge_v = graph.h_edge_arrays()
+    window: list[tuple[int, int]] = list(
+        zip(edge_u.tolist(), edge_v.tolist())
+    )
+    churn = max(1, int(churn_fraction * len(window)))
+    verts = shadow.alive_vertices()
+    out: list[UpdateBatch] = []
+    for _ in range(batches):
+        batch = UpdateBatch()
+        retired, window = window[:churn], window[churn:]
+        for u, v in retired:
+            batch.edge_delete(u, v)
+            shadow.delete(u, v)
+        for _ in range(churn):
+            pair = _sample_new_edge(rng, shadow, verts, verts)
+            if pair is None:
+                continue
+            batch.edge_insert(*pair)
+            shadow.insert(*pair)
+            window.append(pair)
+        out.append(batch)
+    return StreamWorkload(
+        name="sliding_window",
+        graph=graph,
+        notes=(
+            f"{batches} batches x {churn} edge turnover on "
+            f"G(n={n_vertices}, d~{avg_degree:g})"
+        ),
+        batches=out,
+    )
+
+
+def hotspot_churn_stream(
+    rng: np.random.Generator,
+    *,
+    n_vertices: int = 300,
+    avg_degree: float = 10.0,
+    cluster_size: int = 1,
+    topology: ClusterTopology = "star",
+    batches: int = 8,
+    hotspot_fraction: float = 0.05,
+    churn_edges: int | None = None,
+    arrivals: int = 4,
+    departures: int = 2,
+) -> StreamWorkload:
+    """Skewed churn: edge turnover concentrated on a small hotspot, new
+    clusters arriving wired into the hotspot, old ones departing elsewhere.
+
+    Hotspot degrees drift upward, exercising palette *growth*; departures
+    exercise shrinkage and the palette-retightening path.
+    """
+    graph = _initial_graph(rng, n_vertices, avg_degree, cluster_size, topology)
+    shadow = _Shadow(graph)
+    hot_count = max(2, int(hotspot_fraction * n_vertices))
+    hotspot = np.arange(hot_count, dtype=np.int64)
+    churn = (
+        churn_edges
+        if churn_edges is not None
+        else max(1, int(0.02 * graph.n_h_edges))
+    )
+    out: list[UpdateBatch] = []
+    for _ in range(batches):
+        batch = UpdateBatch()
+        # retire random hotspot-incident edges (any edge when none left)
+        edge_u, edge_v = shadow.delta.edge_arrays()
+        touches_hot = (edge_u < hot_count) | (edge_v < hot_count)
+        pool = np.flatnonzero(touches_hot)
+        if pool.size == 0:
+            pool = np.arange(edge_u.size)
+        take = min(churn, pool.size)
+        picked = rng.choice(pool, size=take, replace=False)
+        for i in picked:
+            u, v = int(edge_u[i]), int(edge_v[i])
+            batch.edge_delete(u, v)
+            shadow.delete(u, v)
+        # departures: non-hotspot veterans leave wholesale
+        candidates = shadow.alive_vertices()
+        candidates = candidates[candidates >= hot_count]
+        for _ in range(min(departures, max(0, candidates.size - 1))):
+            v = int(candidates[rng.integers(0, candidates.size)])
+            batch.vertex_remove(v)
+            shadow.remove(v)
+            candidates = candidates[candidates != v]
+        # arrivals: new clusters wired into the hotspot
+        for _ in range(arrivals):
+            alive_hot = hotspot[shadow.delta.alive_mask[hotspot]]
+            if alive_hot.size == 0:
+                break
+            k = min(3, alive_hot.size)
+            targets = [int(t) for t in rng.choice(alive_hot, size=k, replace=False)]
+            size = int(rng.integers(1, 4))
+            batch.vertex_add(edges=targets, size=size)
+            shadow.add(targets, size=size)
+        # fresh hotspot-incident edges
+        verts = shadow.alive_vertices()
+        alive_hot = hotspot[shadow.delta.alive_mask[hotspot]]
+        if alive_hot.size:
+            for _ in range(churn):
+                pair = _sample_new_edge(rng, shadow, alive_hot, verts)
+                if pair is None:
+                    continue
+                batch.edge_insert(*pair)
+                shadow.insert(*pair)
+        out.append(batch)
+    return StreamWorkload(
+        name="hotspot_churn",
+        graph=graph,
+        notes=(
+            f"{batches} batches, {hot_count}-vertex hotspot, "
+            f"{churn} edge churn + {arrivals} arrivals/{departures} departures"
+        ),
+        batches=out,
+    )
+
+
+def cluster_churn_stream(
+    rng: np.random.Generator,
+    *,
+    n_vertices: int = 150,
+    avg_degree: float = 8.0,
+    cluster_size: int = 4,
+    topology: ClusterTopology = "star",
+    batches: int = 6,
+    merges_per_batch: int = 3,
+    splits_per_batch: int = 3,
+    churn_edges: int | None = None,
+) -> StreamWorkload:
+    """Merge/split traces: clusters coalesce and fission while background
+    edge churn keeps the conflict frontier moving -- the shape contraction
+    and decomposition algorithms impose on their cluster graphs."""
+    if cluster_size < 2:
+        raise ValueError("cluster_churn_stream needs cluster_size >= 2 to split")
+    graph = _initial_graph(rng, n_vertices, avg_degree, cluster_size, topology)
+    shadow = _Shadow(graph)
+    churn = (
+        churn_edges
+        if churn_edges is not None
+        else max(1, int(0.02 * graph.n_h_edges))
+    )
+    out: list[UpdateBatch] = []
+    for _ in range(batches):
+        batch = UpdateBatch()
+        # background edge churn first (matches the batch application order)
+        edge_u, edge_v = shadow.delta.edge_arrays()
+        take = min(churn, edge_u.size)
+        picked = rng.choice(edge_u.size, size=take, replace=False)
+        for i in picked:
+            u, v = int(edge_u[i]), int(edge_v[i])
+            batch.edge_delete(u, v)
+            shadow.delete(u, v)
+        verts = shadow.alive_vertices()
+        for _ in range(churn):
+            pair = _sample_new_edge(rng, shadow, verts, verts)
+            if pair is None:
+                continue
+            batch.edge_insert(*pair)
+            shadow.insert(*pair)
+        # merges: adjacent alive pairs coalesce
+        for _ in range(merges_per_batch):
+            edge_u, edge_v = shadow.delta.edge_arrays()
+            if edge_u.size == 0:
+                break
+            i = int(rng.integers(0, edge_u.size))
+            u, v = int(edge_u[i]), int(edge_v[i])
+            batch.cluster_merge(u, v)
+            shadow.merge(u, v)
+        # splits: big-enough clusters shed half their neighbors
+        for _ in range(splits_per_batch):
+            candidates = [
+                int(v)
+                for v in shadow.alive_vertices()
+                if shadow.sizes[v] >= 2 and shadow.delta.neighbors(int(v)).size >= 1
+            ]
+            if not candidates:
+                break
+            u = candidates[int(rng.integers(0, len(candidates)))]
+            nbrs = shadow.delta.neighbors(u)
+            k = int(nbrs.size) // 2
+            moved = (
+                [int(x) for x in rng.choice(nbrs, size=k, replace=False)]
+                if k
+                else []
+            )
+            size = max(1, shadow.sizes[u] // 2)
+            batch.cluster_split(u, moved, size=size)
+            shadow.split(u, moved, size)
+        out.append(batch)
+    return StreamWorkload(
+        name="cluster_churn",
+        graph=graph,
+        notes=(
+            f"{batches} batches, {merges_per_batch} merges + "
+            f"{splits_per_batch} splits each, {churn} edge churn"
+        ),
+        batches=out,
+    )
+
+
+#: Stream-capable generators (every entry also lives in ``GENERATORS``, so
+#: listings, sweeps, and the CLI resolve them uniformly; this sub-registry
+#: is what stream-only surfaces -- ``repro stream``, the stream suites --
+#: iterate).
+STREAMS = {
+    "sliding_window": sliding_window_stream,
+    "hotspot_churn": hotspot_churn_stream,
+    "cluster_churn": cluster_churn_stream,
+}
+
+GENERATORS.update(STREAMS)

@@ -55,3 +55,43 @@ class TestCommands:
         assert code == 0
         for name in GENERATORS:
             assert name in out
+
+
+class TestStreamCommand:
+    def test_stream_repair_mode(self, capsys):
+        code = main(
+            ["stream", "--workload", "cluster_churn", "--seed", "1", "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mode=repair" in out
+        assert "proper=True" in out
+        assert "recolor_fraction" in out
+
+    def test_stream_both_reports_advantage(self, capsys):
+        code = main(
+            ["stream", "--workload", "sliding_window", "--mode", "both",
+             "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mode=repair" in out
+        assert "mode=scratch" in out
+        assert "wall-time advantage" in out
+
+    def test_stream_per_batch_table(self, capsys):
+        code = main(["stream", "--workload", "hotspot_churn"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recolor%" in out  # per-batch table present
+
+    def test_stream_rejects_static_workloads(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--workload", "congest"])
+
+    def test_workloads_listing_includes_streams(self, capsys):
+        code = main(["workloads"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("sliding_window", "hotspot_churn", "cluster_churn"):
+            assert name in out

@@ -1,0 +1,545 @@
+"""The streaming update engine: delta-buffered CSR, update application,
+frontier repair, and the repair-vs-scratch contract.
+
+The load-bearing properties:
+
+* :class:`DeltaCSR` answers every query exactly like an independently
+  maintained adjacency, before AND after compaction (delta-buffer vs.
+  rebuilt-CSR equivalence);
+* after every applied batch the coloring is proper (checker-verified) and
+  sits inside the *current* ``Delta + 1`` palette, for arbitrary valid
+  streams over every update kind;
+* the repair path and the recolor-from-scratch path agree on the palette
+  bound and both stay proper on seeded streams.
+"""
+
+import numpy as np
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.builders import blowup
+from repro.dynamic import (
+    DeltaCSR,
+    DynamicColoring,
+    FrozenConflictGraph,
+    Update,
+    UpdateBatch,
+    run_stream,
+)
+from repro.graphcore import CSRAdjacency, is_proper_edges
+from repro.network.ledger import BandwidthLedger
+from repro.verify.checker import is_proper
+
+
+def small_cluster_graph(seed: int, n: int = 10, density: float = 0.4,
+                        cluster_size: int = 2):
+    rng = np.random.default_rng(seed)
+    h = nx.gnp_random_graph(n, density, seed=seed)
+    return blowup(h, rng, cluster_size=cluster_size, topology="star")
+
+
+# ---------------------------------------------------------------------------
+# CSRAdjacency.from_edge_arrays (the dedup'd layout block)
+# ---------------------------------------------------------------------------
+
+
+class TestFromEdgeArrays:
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 30),
+           density=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_adj_list_construction(self, seed, n, density):
+        rng = np.random.default_rng(seed)
+        m = int(density * n * (n - 1) / 2)
+        pairs = set()
+        for _ in range(m):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                pairs.add((min(u, v), max(u, v)))
+        adj = [[] for _ in range(n)]
+        for u, v in pairs:
+            adj[u].append(v)
+            adj[v].append(u)
+        reference = CSRAdjacency.from_adj_lists([sorted(a) for a in adj])
+        arr = np.asarray(sorted(pairs), dtype=np.int64).reshape(-1, 2)
+        built = CSRAdjacency.from_edge_arrays(arr[:, 0], arr[:, 1], n)
+        assert np.array_equal(built.indptr, reference.indptr)
+        assert np.array_equal(built.indices, reference.indices)
+
+    def test_dedupe_collapses_duplicates_and_orientations(self):
+        eu = np.array([0, 1, 2, 0])
+        ev = np.array([1, 0, 0, 2])
+        csr = CSRAdjacency.from_edge_arrays(eu, ev, 3, dedupe=True)
+        assert csr.neighbors(0).tolist() == [1, 2]
+        assert csr.neighbors(1).tolist() == [0]
+        assert csr.n_directed_edges == 4
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CSRAdjacency.from_edge_arrays(np.array([0]), np.array([1, 2]), 3)
+
+
+# ---------------------------------------------------------------------------
+# DeltaCSR: overlay semantics and compaction equivalence
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def edit_scripts(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    n = draw(st.integers(2, 16))
+    density = draw(st.floats(0.0, 0.8))
+    n_edits = draw(st.integers(0, 60))
+    compact_every = draw(st.integers(0, 3))
+    return seed, n, density, n_edits, compact_every
+
+
+class TestDeltaCSR:
+    @given(edit_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_adjacency(self, script):
+        """Random valid edits against an independent dict-of-sets mirror;
+        interleaved compactions must never change any answer."""
+        seed, n, density, n_edits, compact_every = script
+        rng = np.random.default_rng(seed)
+        reference = {v: set() for v in range(n)}
+        init_pairs = []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < density:
+                    init_pairs.append((u, v))
+                    reference[u].add(v)
+                    reference[v].add(u)
+        arr = np.asarray(init_pairs, dtype=np.int64).reshape(-1, 2)
+        delta = DeltaCSR(CSRAdjacency.from_edge_arrays(arr[:, 0], arr[:, 1], n))
+        alive = set(range(n))
+        for step in range(n_edits):
+            choice = rng.random()
+            live = sorted(alive)
+            edges = [(u, v) for u in live for v in sorted(reference[u]) if u < v]
+            non_edges = [
+                (u, v)
+                for i, u in enumerate(live)
+                for v in live[i + 1:]
+                if v not in reference[u]
+            ]
+            if choice < 0.35 and non_edges:
+                u, v = non_edges[int(rng.integers(0, len(non_edges)))]
+                delta.insert_edge(u, v)
+                reference[u].add(v)
+                reference[v].add(u)
+            elif choice < 0.7 and edges:
+                u, v = edges[int(rng.integers(0, len(edges)))]
+                delta.delete_edge(u, v)
+                reference[u].discard(v)
+                reference[v].discard(u)
+            elif choice < 0.85:
+                w = delta.add_vertex()
+                assert w == len(reference)
+                reference[w] = set()
+                alive.add(w)
+            elif len(alive) > 1:
+                v = live[int(rng.integers(0, len(live)))]
+                delta.remove_vertex(v)
+                for u in reference[v]:
+                    reference[u].discard(v)
+                reference[v] = set()
+                alive.discard(v)
+            if compact_every and step % compact_every == 0:
+                delta.compact()
+        self._assert_equal(delta, reference, alive)
+        delta.compact()  # the rebuilt CSR must answer identically
+        assert delta.pending_delta_ops == 0
+        self._assert_equal(delta, reference, alive)
+
+    @staticmethod
+    def _assert_equal(delta, reference, alive):
+        for v in reference:
+            expected = sorted(reference[v])
+            assert delta.neighbors(v).tolist() == expected, f"vertex {v}"
+            assert delta.degrees[v] == len(expected)
+        assert delta.n_edges == sum(len(s) for s in reference.values()) // 2
+        edge_u, edge_v = delta.edge_arrays()
+        got = {(int(u), int(v)) for u, v in zip(edge_u, edge_v)}
+        want = {
+            (u, v) for u in reference for v in reference[u] if u < v
+        }
+        assert got == want
+        assert {v for v in reference if delta.is_alive(v)} == alive
+
+    def test_duplicate_insert_and_missing_delete_rejected(self):
+        delta = DeltaCSR(CSRAdjacency.from_edge_arrays(
+            np.array([0]), np.array([1]), 3))
+        with pytest.raises(ValueError):
+            delta.insert_edge(0, 1)
+        with pytest.raises(ValueError):
+            delta.delete_edge(0, 2)
+        with pytest.raises(ValueError):
+            delta.insert_edge(0, 0)
+        delta.remove_vertex(2)
+        with pytest.raises(ValueError):
+            delta.insert_edge(0, 2)
+
+    def test_gather_matches_per_vertex_neighbors(self):
+        g = small_cluster_graph(3, n=12, density=0.5)
+        delta = DeltaCSR(g.csr)
+        delta.delete_edge(*next(zip(*g.h_edge_arrays())))
+        verts = np.arange(delta.n_vertices)
+        seg_ids, flat = delta.gather(verts)
+        for i, v in enumerate(verts):
+            assert flat[seg_ids == i].tolist() == delta.neighbors(int(v)).tolist()
+
+    def test_periodic_rebuild_triggers(self):
+        delta = DeltaCSR(
+            CSRAdjacency.from_edge_arrays(np.array([0]), np.array([1]), 40),
+            rebuild_fraction=0.01,
+        )
+        rng = np.random.default_rng(0)
+        added = 0
+        while added < 80:
+            u, v = rng.integers(0, 40, size=2)
+            if u != v and not delta.has_edge(int(u), int(v)):
+                delta.insert_edge(int(u), int(v))
+                added += 1
+            delta.maybe_compact()
+        assert delta.rebuilds > 0
+        assert delta.n_edges == 81
+
+
+# ---------------------------------------------------------------------------
+# Update vocabulary
+# ---------------------------------------------------------------------------
+
+
+class TestUpdates:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Update("rewire", u=0, v=1)
+
+    def test_application_order_is_kind_precedence(self):
+        batch = (
+            UpdateBatch()
+            .cluster_split(0, [1])
+            .edge_insert(0, 1)
+            .vertex_remove(2)
+            .edge_delete(3, 4)
+        )
+        kinds = [up.kind for up in batch.in_application_order()]
+        assert kinds == [
+            "edge_delete", "vertex_remove", "edge_insert", "cluster_split",
+        ]
+        assert batch.counts() == {
+            "edge_delete": 1, "vertex_remove": 1,
+            "edge_insert": 1, "cluster_split": 1,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Engine invariants under arbitrary valid churn
+# ---------------------------------------------------------------------------
+
+
+def random_batches(rng, engine_graph, n_batches, ops_per_batch):
+    """A random valid stream over every update kind, mirrored against an
+    independent adjacency/sizes model (not the engine's own state)."""
+    from repro.workloads.streams import _Shadow
+
+    shadow = _Shadow(engine_graph)
+    batches = []
+    for _ in range(n_batches):
+        batch = UpdateBatch()
+        # emit in kind precedence so shadow state matches engine application
+        live = shadow.alive_vertices()
+        edge_u, edge_v = shadow.delta.edge_arrays()
+        if edge_u.size and rng.random() < 0.7:
+            i = int(rng.integers(0, edge_u.size))
+            batch.edge_delete(int(edge_u[i]), int(edge_v[i]))
+            shadow.delete(int(edge_u[i]), int(edge_v[i]))
+        if live.size > 2 and rng.random() < 0.4:
+            v = int(live[rng.integers(0, live.size)])
+            batch.vertex_remove(v)
+            shadow.remove(v)
+        if rng.random() < 0.5:
+            live = shadow.alive_vertices()
+            k = min(int(rng.integers(0, 4)), live.size)
+            targets = [int(t) for t in rng.choice(live, size=k, replace=False)]
+            batch.vertex_add(edges=targets, size=int(rng.integers(1, 4)))
+            shadow.add(targets, size=1)
+        for _ in range(ops_per_batch):
+            live = shadow.alive_vertices()
+            if live.size < 2:
+                break
+            u, v = rng.choice(live, size=2, replace=False)
+            if not shadow.delta.has_edge(int(u), int(v)):
+                batch.edge_insert(int(u), int(v))
+                shadow.insert(int(u), int(v))
+        edge_u, edge_v = shadow.delta.edge_arrays()
+        if edge_u.size and rng.random() < 0.4:
+            i = int(rng.integers(0, edge_u.size))
+            u, v = int(edge_u[i]), int(edge_v[i])
+            batch.cluster_merge(u, v)
+            shadow.merge(u, v)
+        splittable = [
+            int(v) for v in shadow.alive_vertices()
+            if shadow.sizes[v] >= 2 and shadow.delta.neighbors(int(v)).size >= 1
+        ]
+        if splittable and rng.random() < 0.4:
+            u = splittable[int(rng.integers(0, len(splittable)))]
+            nbrs = shadow.delta.neighbors(u)
+            k = int(nbrs.size) // 2
+            moved = [int(x) for x in rng.choice(nbrs, size=k, replace=False)]
+            batch.cluster_split(u, moved, size=1)
+            shadow.split(u, moved, 1)
+        batches.append(batch)
+    return batches
+
+
+class TestEngineInvariants:
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(4, 14),
+           density=st.floats(0.1, 0.7), n_batches=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_proper_and_in_palette_after_every_batch(
+        self, seed, n, density, n_batches
+    ):
+        graph = small_cluster_graph(seed % 1000, n=n, density=density)
+        engine = DynamicColoring(graph, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        for batch in random_batches(rng, graph, n_batches, ops_per_batch=4):
+            report = engine.apply(batch)
+            # the engine's own checker ran (verify_each_batch=True) and
+            # these re-assert the invariants independently:
+            assert report.proper
+            assert engine.num_colors == engine.delta.max_degree + 1
+            alive_colors = engine.colors[engine.delta.alive_mask]
+            assert (alive_colors >= 0).all()
+            assert (alive_colors < engine.num_colors).all()
+            edge_u, edge_v = engine.delta.edge_arrays()
+            assert is_proper_edges(edge_u, edge_v, engine.colors)
+            # degrees stayed consistent with the merged adjacency
+            for v in range(engine.n_vertices):
+                assert engine.delta.degrees[v] == engine.delta.neighbors(v).size
+
+    def test_deterministic_given_seeds(self):
+        graph = small_cluster_graph(7, n=12, density=0.4)
+        rng_a = np.random.default_rng(3)
+        batches = random_batches(rng_a, graph, 3, ops_per_batch=4)
+        runs = []
+        for _ in range(2):
+            engine = DynamicColoring(small_cluster_graph(7, n=12, density=0.4),
+                                     seed=11)
+            result = engine.run(batches)
+            runs.append((engine.colors.tolist(),
+                         [r.repaired for r in result.reports]))
+        assert runs[0] == runs[1]
+
+
+# ---------------------------------------------------------------------------
+# Targeted update semantics
+# ---------------------------------------------------------------------------
+
+
+class TestUpdateSemantics:
+    def test_insert_conflict_dirties_larger_endpoint(self):
+        # two disconnected pairs colored identically, then joined
+        csr_graph = blowup(
+            nx.from_edgelist([(0, 1), (2, 3)]), np.random.default_rng(0),
+            cluster_size=1,
+        )
+        engine = DynamicColoring(csr_graph, seed=0)
+        c = engine.colors.copy()
+        # find two non-adjacent same-colored vertices
+        u = 0
+        v = next(
+            x for x in range(engine.n_vertices)
+            if x != u and engine.colors[x] == engine.colors[u]
+            and not engine.delta.has_edge(u, x)
+        )
+        report = engine.apply(UpdateBatch().edge_insert(u, v))
+        assert report.proper
+        assert engine.colors[u] == c[u]  # smaller id kept its color
+
+    def test_merge_requires_adjacency(self):
+        graph = small_cluster_graph(1, n=8, density=0.3)
+        engine = DynamicColoring(graph, seed=0)
+        non_adjacent = next(
+            (u, v)
+            for u in range(engine.n_vertices)
+            for v in range(u + 1, engine.n_vertices)
+            if not engine.delta.has_edge(u, v)
+        )
+        with pytest.raises(ValueError, match="non-adjacent"):
+            engine.apply(UpdateBatch().cluster_merge(*non_adjacent))
+
+    def test_merge_unions_neighborhoods_and_frees_loser(self):
+        graph = small_cluster_graph(2, n=10, density=0.5)
+        engine = DynamicColoring(graph, seed=0)
+        eu, ev = engine.delta.edge_arrays()
+        u, v = int(eu[0]), int(ev[0])
+        expected = (
+            set(engine.delta.neighbors(u).tolist())
+            | set(engine.delta.neighbors(v).tolist())
+        ) - {u, v}
+        machines_before = engine.n_machines
+        report = engine.apply(UpdateBatch().cluster_merge(u, v))
+        assert report.proper
+        assert set(engine.delta.neighbors(u).tolist()) == expected
+        assert not engine.delta.is_alive(v)
+        assert engine.n_machines == machines_before  # machines moved, not lost
+
+    def test_split_on_singleton_cluster_rejected(self):
+        graph = blowup(nx.path_graph(4), np.random.default_rng(0), cluster_size=1)
+        engine = DynamicColoring(graph, seed=0)
+        with pytest.raises(ValueError, match="at least 2"):
+            engine.apply(UpdateBatch().cluster_split(1, [0]))
+
+    def test_split_moves_neighbors_and_links_halves(self):
+        graph = blowup(nx.star_graph(5), np.random.default_rng(0), cluster_size=3)
+        engine = DynamicColoring(graph, seed=0)
+        hub = 0
+        moved = engine.delta.neighbors(hub).tolist()[:2]
+        report = engine.apply(
+            UpdateBatch().cluster_split(hub, moved, size=1)
+        )
+        w = engine.n_vertices - 1
+        assert report.proper
+        assert engine.delta.has_edge(hub, w)
+        for x in moved:
+            assert engine.delta.has_edge(w, x)
+            assert not engine.delta.has_edge(hub, x)
+
+    def test_palette_retightens_when_delta_shrinks(self):
+        graph = blowup(nx.star_graph(6), np.random.default_rng(0), cluster_size=1)
+        engine = DynamicColoring(graph, seed=0)
+        assert engine.num_colors == 7
+        batch = UpdateBatch()
+        for leaf in (2, 3, 4, 5, 6):
+            batch.edge_delete(0, leaf)
+        report = engine.apply(batch)
+        assert engine.num_colors == 2  # Delta fell to 1
+        assert report.proper
+        alive_colors = engine.colors[engine.delta.alive_mask]
+        assert (alive_colors < 2).all()
+
+    def test_vertex_add_is_colored_within_palette(self):
+        graph = small_cluster_graph(4, n=8, density=0.5)
+        engine = DynamicColoring(graph, seed=0)
+        report = engine.apply(UpdateBatch().vertex_add(edges=[0, 1, 2], size=2))
+        w = engine.n_vertices - 1
+        assert report.proper
+        assert 0 <= engine.colors[w] < engine.num_colors
+        assert engine.delta.neighbors(w).tolist() == [0, 1, 2]
+
+    def test_escalation_path_recolors_everything(self):
+        graph = small_cluster_graph(5, n=10, density=0.5)
+        engine = DynamicColoring(graph, seed=0, escalate_fraction=0.0)
+        # force at least one dirty vertex via a conflicting insertion
+        u = 0
+        v = next(
+            x for x in range(engine.n_vertices)
+            if x != u and engine.colors[x] == engine.colors[u]
+            and not engine.delta.has_edge(u, x)
+        )
+        report = engine.apply(UpdateBatch().edge_insert(u, v))
+        assert report.escalated
+        assert report.recolor_fraction == 1.0
+        assert report.proper
+
+
+# ---------------------------------------------------------------------------
+# Repair vs. scratch on seeded streams
+# ---------------------------------------------------------------------------
+
+
+class TestRepairVsScratch:
+    @pytest.mark.parametrize("name", ["sliding_window", "hotspot_churn",
+                                      "cluster_churn"])
+    def test_parity_on_seeded_streams(self, name):
+        from repro.workloads import STREAMS
+
+        results = {}
+        for mode in ("repair", "scratch"):
+            w = STREAMS[name](np.random.default_rng(42))
+            engine, result, metrics = run_stream(w, seed=7, mode=mode)
+            assert result.all_proper, f"{name}/{mode} went improper"
+            results[mode] = (engine, metrics)
+        repair_engine, repair_metrics = results["repair"]
+        scratch_engine, scratch_metrics = results["scratch"]
+        # identical structural state => identical palette bound
+        assert repair_engine.num_colors == scratch_engine.num_colors
+        assert repair_engine.n_alive == scratch_engine.n_alive
+        # color-count parity: both land inside the same Delta+1 palette
+        assert repair_metrics["colors_used"] <= repair_engine.num_colors
+        assert scratch_metrics["colors_used"] <= scratch_engine.num_colors
+        # and the repair path earns its keep: far fewer vertices recolored
+        assert repair_metrics["recolor_fraction_mean"] < 0.25
+        assert scratch_metrics["recolor_fraction_mean"] == 1.0
+        assert (
+            repair_metrics["repaired_vertices"]
+            < scratch_metrics["repaired_vertices"]
+        )
+
+    def test_scratch_snapshot_runs_full_pipeline(self):
+        w_graph = small_cluster_graph(6, n=12, density=0.4)
+        engine = DynamicColoring(w_graph, seed=0)
+        snapshot = engine.snapshot_graph()
+        assert isinstance(snapshot, FrozenConflictGraph)
+        assert snapshot.n_machines == engine.n_machines
+        assert is_proper(snapshot, engine.colors)
+
+
+# ---------------------------------------------------------------------------
+# Ledger absorb (the escalation accounting primitive)
+# ---------------------------------------------------------------------------
+
+
+class TestLedgerAbsorb:
+    def test_absorb_preserves_per_op_invariants(self):
+        ledger = BandwidthLedger(bandwidth_bits=16)
+        ledger.charge("x", 8, rounds_h=2, pipelined=True)
+        other = BandwidthLedger(bandwidth_bits=16)
+        other.charge("inner", 12, rounds_h=3, pipelined=True)
+        other.charge("inner2", 40, rounds_h=1, pipelined=True)
+        ledger.absorb(other.summary(), op="scratch")
+        assert sum(ledger.per_op_rounds.values()) == ledger.rounds_h
+        assert sum(ledger.per_op_bits.values()) == ledger.total_message_bits
+        assert ledger.rounds_h == 2 + other.rounds_h
+        assert ledger.total_message_bits == 16 + other.total_message_bits
+
+
+# ---------------------------------------------------------------------------
+# Harness metrics
+# ---------------------------------------------------------------------------
+
+
+class TestHarness:
+    def test_run_stream_metrics_shape(self):
+        from repro.workloads import sliding_window_stream
+
+        w = sliding_window_stream(
+            np.random.default_rng(0), n_vertices=60, batches=3
+        )
+        _engine, result, metrics = run_stream(w, seed=0, mode="repair")
+        assert metrics["proper"] is True
+        assert metrics["batches"] == 3
+        assert metrics["regime_effective"] == "stream"
+        assert metrics["stream_updates"] == w.total_updates
+        assert 0.0 <= metrics["recolor_fraction_mean"] <= 1.0
+        assert metrics["rounds_h"] == result.rounds_h
+        for key in ("repaired_vertices", "escalations", "delta_rebuilds",
+                    "stream_wall_time_s", "vertices_final", "delta_final"):
+            assert key in metrics
+
+    def test_run_stream_rejects_static_workloads(self):
+        from repro.workloads import congest_instance
+
+        w = congest_instance(np.random.default_rng(0), n=30)
+        with pytest.raises(ValueError, match="no update stream"):
+            run_stream(w, seed=0)
+
+    def test_run_stream_rejects_unknown_modes(self):
+        from repro.workloads import sliding_window_stream
+
+        w = sliding_window_stream(np.random.default_rng(0), n_vertices=40,
+                                  batches=1)
+        with pytest.raises(ValueError, match="unknown mode"):
+            run_stream(w, seed=0, mode="scratch ")

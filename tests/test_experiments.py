@@ -490,3 +490,69 @@ class TestWorkloadRegistry:
         for name, maker in GENERATORS.items():
             w = maker(np.random.default_rng(0))
             assert w.graph.n_vertices > 0, name
+
+
+class TestStreamCells:
+    """Stream algorithms flow through the same cell/artifact machinery."""
+
+    def test_stream_suites_registered(self):
+        assert "stream" in SUITES
+        assert "stream_smoke" in SUITES
+        for name in ("stream", "stream_smoke"):
+            algos = {c.algorithm for c in SUITES[name].cells()}
+            assert algos == {"dynamic", "recolor_scratch"}
+
+    def test_dynamic_cell_executes(self):
+        cell = Cell(
+            suite="t", workload="sliding_window",
+            workload_kwargs=(("batches", 3), ("n_vertices", 60)),
+            params="scaled", regime="auto", algorithm="dynamic",
+            seed=0, instance_seed=0,
+        )
+        record = run_cell(cell.to_dict(), timeout_s=60)
+        assert record["status"] == "ok"
+        m = record["metrics"]
+        assert m["proper"] is True
+        assert m["regime_effective"] == "stream"
+        assert m["batches"] == 3
+        assert 0.0 <= m["recolor_fraction_mean"] <= 1.0
+
+    def test_scratch_cell_recolors_everything(self):
+        cell = Cell(
+            suite="t", workload="sliding_window",
+            workload_kwargs=(("batches", 2), ("n_vertices", 60)),
+            params="scaled", regime="auto", algorithm="recolor_scratch",
+            seed=0, instance_seed=0,
+        )
+        record = run_cell(cell.to_dict(), timeout_s=60)
+        assert record["status"] == "ok"
+        assert record["metrics"]["recolor_fraction_mean"] == 1.0
+
+    def test_stream_algorithm_on_static_workload_errors(self):
+        cell = Cell(
+            suite="t", workload="congest", workload_kwargs=(("n", 30),),
+            params="scaled", regime="auto", algorithm="dynamic",
+            seed=0, instance_seed=0,
+        )
+        record = run_cell(cell.to_dict(), timeout_s=60)
+        assert record["status"] == "error"
+        assert "no update stream" in record["error"]
+
+    def test_stream_metrics_survive_artifact_roundtrip(self, tmp_path):
+        cell = Cell(
+            suite="t", workload="cluster_churn",
+            workload_kwargs=(("batches", 2), ("n_vertices", 60)),
+            params="scaled", regime="auto", algorithm="dynamic",
+            seed=0, instance_seed=0,
+        )
+        record = run_cell(cell.to_dict(), timeout_s=60)
+        path = tmp_path / "stream.jsonl"
+        write_artifact(path, make_header("t", "abc"), [record])
+        artifact = read_artifact(path)
+        assert artifact.records[0]["metrics"]["batches"] == 2
+        rows = summarize(artifact)
+        assert rows[0]["recolor_fraction_mean_mean"] != ""
+        csv_path = to_csv(artifact, tmp_path / "stream.csv")
+        header = csv_path.read_text().splitlines()[0]
+        assert "recolor_fraction_mean" in header
+        assert "stream_wall_time_s" in header

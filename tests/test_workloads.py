@@ -126,3 +126,55 @@ class TestSpecials:
         w = low_degree_instance(np.random.default_rng(8), target_degree=6)
         degrees = {w.graph.degree(v) for v in range(w.graph.n_vertices)}
         assert degrees == {6}
+
+
+class TestStreamGenerators:
+    """Churn streams: registry exposure, determinism, and batch validity
+    (validity is proven by driving the engine over every emitted batch)."""
+
+    def test_streams_registered_uniformly(self):
+        from repro.workloads import GENERATORS, STREAMS
+
+        for name in STREAMS:
+            assert name in GENERATORS
+            assert GENERATORS[name] is STREAMS[name]
+
+    @pytest.mark.parametrize("name", ["sliding_window", "hotspot_churn",
+                                      "cluster_churn"])
+    def test_stream_is_workload_with_batches(self, name):
+        from repro.workloads import STREAMS, StreamWorkload, Workload
+
+        w = STREAMS[name](np.random.default_rng(0))
+        assert isinstance(w, StreamWorkload)
+        assert isinstance(w, Workload)  # uniform listing/coloring surface
+        assert w.graph.n_vertices > 0
+        assert len(w.batches) > 0
+        assert w.total_updates == sum(len(b) for b in w.batches)
+
+    @pytest.mark.parametrize("name", ["sliding_window", "hotspot_churn",
+                                      "cluster_churn"])
+    def test_deterministic_given_seed(self, name):
+        from repro.workloads import STREAMS
+
+        a = STREAMS[name](np.random.default_rng(5))
+        b = STREAMS[name](np.random.default_rng(5))
+        assert sorted(a.graph.iter_h_edges()) == sorted(b.graph.iter_h_edges())
+        assert [ba.updates for ba in a.batches] == [bb.updates for bb in b.batches]
+
+    @pytest.mark.parametrize("name", ["sliding_window", "hotspot_churn",
+                                      "cluster_churn"])
+    def test_every_batch_is_applicable(self, name):
+        from repro.dynamic import DynamicColoring
+        from repro.workloads import STREAMS
+
+        w = STREAMS[name](np.random.default_rng(11))
+        engine = DynamicColoring(w.graph, seed=2)
+        result = engine.run(w.batches)  # engine raises on any invalid event
+        assert result.batches == len(w.batches)
+        assert result.all_proper
+
+    def test_cluster_churn_needs_splittable_clusters(self):
+        from repro.workloads import cluster_churn_stream
+
+        with pytest.raises(ValueError, match="cluster_size"):
+            cluster_churn_stream(np.random.default_rng(0), cluster_size=1)
