@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.graphcore.csr import CSRAdjacency
 from repro.network.commgraph import CommGraph
-from repro.cluster.support_tree import SupportTree
+from repro.cluster.support_tree import SupportTree, build_forest
 
 
 @dataclass
@@ -44,15 +44,18 @@ class ClusterGraph:
         ``clusters[v]`` is the sorted machine list of cluster ``v``.
     trees:
         Support tree per cluster (leader = tree root).
-    adj:
-        ``adj[v]`` is the sorted list of H-neighbors of ``v``.
     csr:
-        CSR view of ``adj``, (re)derived in ``__post_init__`` -- the
-        backbone the batched coloring kernels (:mod:`repro.graphcore`) run
-        on.  Because ``__post_init__`` rebuilds it, it survives
-        ``dataclasses.replace`` and unpickling in pool workers (unlike the
-        lazy ``_adj_arrays`` attribute cache it replaces, which silently
-        vanished there and was rebuilt per vertex).
+        CSR adjacency backbone -- the structure the batched coloring
+        kernels (:mod:`repro.graphcore`) run on.  Passed directly by
+        ``from_assignment`` (which lays it out vectorized) or derived in
+        ``__post_init__`` from ``_adj`` when a test builds the dataclass
+        by hand.  A real init field, so it survives ``dataclasses.replace``
+        and unpickling in pool workers.
+    adj:
+        ``adj[v]``: the sorted list of H-neighbors of ``v``.  A *lazy
+        property* over the CSR: materializing ``n`` Python lists used to
+        box ``2m`` ints at construction (~0.4 s at 1.6M edges) that the
+        vectorized hot paths never look at.
     links:
         ``links[(u, v)]`` with ``u < v`` lists the G-links realizing H-edge
         ``{u, v}`` (lazy property; diagnostics and the dedup machinery use
@@ -63,28 +66,26 @@ class ClusterGraph:
     assignment: list[int]
     clusters: list[list[int]]
     trees: list[SupportTree]
-    adj: list[list[int]]
+    #: hand-construction path (tests): neighbor lists to lay the CSR from
+    #: when ``csr`` is not supplied.  Access through the ``adj`` property.
+    #: compare=False: a lazily-materialized cache must not affect equality.
+    _adj: list[list[int]] | None = field(default=None, repr=False, compare=False)
     _links: dict[tuple[int, int], list[tuple[int, int]]] | None = field(
         default=None, repr=False
     )
     _neighbor_sets: list[frozenset[int]] = field(default_factory=list, repr=False)
-    #: construction-time hand-off only: ``from_assignment`` already laid the
-    #: CSR out and derives ``adj`` from it, so rebuilding would duplicate the
-    #: lexsort pass.  Consumed (reset to None) by ``__post_init__``, so a
-    #: later ``dataclasses.replace`` rebuilds from ``adj`` as before.
-    _prebuilt_csr: CSRAdjacency | None = field(
-        default=None, repr=False, compare=False
-    )
-    #: derived, never passed to __init__: rebuilt from ``adj`` on every
-    #: construction (including dataclasses.replace), so it can never go stale
-    csr: CSRAdjacency = field(init=False, repr=False, compare=False)
+    csr: CSRAdjacency | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if self._prebuilt_csr is not None:
-            self.csr = self._prebuilt_csr
-            self._prebuilt_csr = None
-        else:
-            self.csr = CSRAdjacency.from_adj_lists(self.adj)
+        if self._adj is not None:
+            # neighbor lists are the source of truth when present: rebuild
+            # the CSR from them so dataclasses.replace(h, _adj=...) can
+            # never pair new lists with a stale carried-over backbone
+            self.csr = CSRAdjacency.from_adj_lists(self._adj)
+        elif self.csr is None:
+            raise ValueError(
+                "ClusterGraph needs a csr backbone or _adj neighbor lists"
+            )
 
     # ---- construction --------------------------------------------------------
 
@@ -118,10 +119,7 @@ class ClusterGraph:
             for part in np.split(member_order, np.cumsum(sizes)[:-1])
         ]
 
-        trees = [
-            SupportTree.build_bfs(comm, machines, cluster_id=vertex)
-            for vertex, machines in enumerate(clusters)
-        ]
+        trees = build_forest(comm, assign, clusters)
 
         # H-adjacency: map every G-link to its cluster pair, drop
         # intra-cluster links, dedupe pairs, and lay both directions out as
@@ -137,15 +135,13 @@ class ClusterGraph:
         uniq_codes = np.unique(pair_codes)
         ua, ub = uniq_codes // n_vertices, uniq_codes % n_vertices
         csr = CSRAdjacency.from_edge_arrays(ua, ub, n_vertices)
-        adj = [part.tolist() for part in np.split(csr.indices, csr.indptr[1:-1])]
 
         graph = cls(
             comm=comm,
             assignment=[int(x) for x in assignment],
             clusters=clusters,
             trees=trees,
-            adj=adj,
-            _prebuilt_csr=csr,
+            csr=csr,
         )
         # raw material for the lazy `links` view: realizing G-links keyed by
         # H-edge code, kept as arrays until someone asks for the dict
@@ -158,6 +154,17 @@ class ClusterGraph:
         return cls.from_assignment(comm, list(range(comm.n)))
 
     # ---- lazy list/dict views ------------------------------------------------
+
+    @property
+    def adj(self) -> list[list[int]]:
+        """``adj[v]``: sorted H-neighbor list of ``v``, materialized from
+        the CSR on first access (the vectorized paths never need it)."""
+        if self._adj is None:
+            self._adj = [
+                part.tolist()
+                for part in np.split(self.csr.indices, self.csr.indptr[1:-1])
+            ]
+        return self._adj
 
     @property
     def links(self) -> dict[tuple[int, int], list[tuple[int, int]]]:
@@ -215,21 +222,24 @@ class ClusterGraph:
         """True degree of ``v`` in ``H`` (links to the same cluster counted
         once -- the quantity that is *hard* to compute in the model).
         """
-        return len(self.adj[v])
+        return int(self.csr.indptr[v + 1] - self.csr.indptr[v])
 
     def link_count(self, v: int) -> int:
         """Number of inter-cluster links incident to ``v`` -- the easy
         aggregate that can grossly overestimate :meth:`degree` (Section 1.1).
         """
         total = 0
-        for u in self.adj[v]:
+        for u in self.neighbors(v):
             key = (u, v) if u < v else (v, u)
             total += len(self.links[key])
         return total
 
     def neighbors(self, v: int) -> list[int]:
-        """H-neighbors of ``v`` (sorted list)."""
-        return self.adj[v]
+        """H-neighbors of ``v`` (sorted list; served from the materialized
+        ``adj`` view when one exists, else a per-call CSR slice)."""
+        if self._adj is not None:
+            return self._adj[v]
+        return self.csr.neighbors(v).tolist()
 
     def neighbor_set(self, v: int) -> frozenset[int]:
         """H-neighbors of ``v`` as a frozenset (for intersection tests)."""

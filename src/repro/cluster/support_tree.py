@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.network.commgraph import CommGraph
 
 
@@ -89,7 +91,8 @@ class SupportTree:
 
     @property
     def machines(self) -> list[int]:
-        """All machines of the cluster (tree vertices)."""
+        """All machines of the cluster (tree vertices, in BFS discovery
+        order -- the root first)."""
         return list(self.parent.keys())
 
     def children(self) -> dict[int, list[int]]:
@@ -120,3 +123,109 @@ class SupportTree:
             for child in reversed(kids[node]):
                 stack.append(child)
         return order
+
+
+def build_forest(
+    comm: CommGraph, assignment: np.ndarray, clusters: Sequence[Sequence[int]]
+) -> list[SupportTree]:
+    """BFS support trees for *every* cluster of a partition at once.
+
+    The vectorized counterpart of calling :meth:`SupportTree.build_bfs`
+    per cluster: one multi-source frontier BFS over the machine CSR,
+    restricted to intra-cluster links (clusters are vertex-disjoint, so
+    all of them advance in the same frontier).  Per level, ties between
+    several frontier machines reaching the same target resolve to the
+    first writer in (frontier-order, neighbor-order) -- exactly the order
+    the sequential BFS assigned parents in -- so every tree (roots,
+    parents, depths, and the dict insertion order of ``parent`` /
+    ``depth_of``) is identical to the per-cluster build.
+
+    Parameters
+    ----------
+    comm:
+        The communication network ``G``.
+    assignment:
+        int64 array mapping machine -> cluster id (dense in ``0..k-1``).
+    clusters:
+        ``clusters[v]``: sorted machine list of cluster ``v`` (the roots
+        are the per-cluster minima, the deterministic leader election).
+
+    Raises
+    ------
+    ValueError
+        If some cluster is not connected in ``G`` (Definition 3.1); the
+        offending cluster is the smallest-id one, as in the per-cluster
+        loop.
+    """
+    from repro.graphcore import gather_neighborhoods
+
+    n = comm.n
+    n_clusters = len(clusters)
+    if any(not members for members in clusters):
+        raise ValueError("cluster must contain at least one machine")
+    roots = np.fromiter(
+        (members[0] for members in clusters), dtype=np.int64, count=n_clusters
+    )
+    csr = comm.csr
+    parent = np.full(n, -1, dtype=np.int64)
+    depth = np.full(n, -1, dtype=np.int64)
+    depth[roots] = 0
+    levels: list[np.ndarray] = [roots]
+    frontier = roots
+    while frontier.size:
+        seg_ids, flat = gather_neighborhoods(csr, frontier)
+        sources = frontier[seg_ids]
+        candidate = (assignment[flat] == assignment[sources]) & (depth[flat] < 0)
+        targets = flat[candidate]
+        owners = sources[candidate]
+        uniq, first_idx = np.unique(targets, return_index=True)
+        parent[uniq] = owners[first_idx]
+        depth[uniq] = depth[frontier[0]] + 1 if uniq.size else 0
+        frontier = uniq[np.argsort(first_idx, kind="stable")]
+        if frontier.size:
+            levels.append(frontier)
+
+    if (depth < 0).any():
+        unreachable = np.flatnonzero(depth < 0)
+        bad_cluster = int(assignment[unreachable].min())
+        missing = sorted(
+            int(m) for m in unreachable[assignment[unreachable] == bad_cluster]
+        )[:5]
+        raise ValueError(
+            f"cluster {bad_cluster} is not connected in G; "
+            f"unreachable machines include {missing}"
+        )
+
+    # Group the global discovery order by cluster (stable, so each
+    # cluster's subsequence keeps its own BFS order), then cut it into
+    # per-cluster slices.
+    discovery = np.concatenate(levels)
+    by_cluster = discovery[
+        np.argsort(assignment[discovery], kind="stable")
+    ]
+    sizes = np.fromiter(
+        (len(members) for members in clusters), dtype=np.int64, count=n_clusters
+    )
+    offsets = np.zeros(n_clusters + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    parent_of = parent[by_cluster]
+    depth_of_all = depth[by_cluster]
+    heights = np.zeros(n_clusters, dtype=np.int64)
+    np.maximum.at(heights, assignment[discovery], depth[discovery])
+
+    trees: list[SupportTree] = []
+    for cid in range(n_clusters):
+        lo, hi = int(offsets[cid]), int(offsets[cid + 1])
+        machines = by_cluster[lo:hi].tolist()
+        pars = parent_of[lo:hi].tolist()
+        pars[0] = None  # the root (discovered first) has no parent
+        trees.append(
+            SupportTree(
+                cluster_id=cid,
+                root=machines[0],
+                parent=dict(zip(machines, pars)),
+                depth_of=dict(zip(machines, depth_of_all[lo:hi].tolist())),
+                height=max(1, int(heights[cid])),
+            )
+        )
+    return trees

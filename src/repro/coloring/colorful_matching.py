@@ -13,8 +13,11 @@ use the fingerprint algorithm of Section 6 instead
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.aggregation.runtime import ClusterRuntime
-from repro.coloring.types import PartialColoring
+from repro.coloring.types import UNCOLORED, PartialColoring
+from repro.graphcore import batch_conflict_mask, csr_of
 
 
 def colorful_matching(
@@ -51,28 +54,50 @@ def colorful_matching(
     if reserved_floor >= num_colors:
         return matching_size
 
+    csr = csr_of(graph)
     for _ in range(rounds):
         # Every uncolored clique member flips a coin and samples a uniform
         # non-reserved color; same-colored anti-edge pairs commit together.
+        # The draw loop stays scalar -- its coin/color interleaving is the
+        # pinned RNG stream -- but the membership test reads one snapshot
+        # array instead of per-vertex coloring queries.
+        uncolored = coloring.colors == UNCOLORED
         groups: dict[tuple[int, int], list[int]] = {}
         for idx, members in cliques.items():
             for v in members:
-                if coloring.is_colored(v):
+                if not uncolored[v]:
                     continue
                 if runtime.rng.random() < 0.5:
                     c = int(runtime.rng.integers(reserved_floor, num_colors))
                     groups.setdefault((idx, c), []).append(v)
         runtime.h_rounds(op, count=2, bits=runtime.color_bits)
 
+        # Conflict discovery for every candidate in one batched gather
+        # against the pre-commit snapshot.  Mid-round commits can only
+        # block a candidate through a same-colored neighbor committed this
+        # round -- exactly the ``committed_this_round`` adjacency test
+        # below -- so the snapshot mask plus that test reproduces the
+        # sequential per-vertex ``is_free_for`` decisions.
+        flat_verts = [v for cand in groups.values() for v in cand]
+        flat_cands = [key[1] for key, cand in groups.items() for _ in cand]
+        blocked = (
+            batch_conflict_mask(csr, coloring.colors, flat_verts, flat_cands)
+            if flat_verts
+            else np.empty(0, dtype=bool)
+        )
+
         committed_this_round: dict[int, list[int]] = {}  # color -> vertices
+        cursor = 0
         for (idx, c), candidates in groups.items():
+            cand_blocked = blocked[cursor : cursor + len(candidates)]
+            cursor += len(candidates)
             if len(candidates) < 2:
                 continue
             # keep candidates for which c is free (no colored neighbor uses
             # it) and which do not conflict with commits elsewhere this round
             selected: list[int] = []
-            for v in candidates:
-                if not coloring.is_free_for(graph, v, c):
+            for v, is_blocked in zip(candidates, cand_blocked):
+                if is_blocked:
                     continue
                 if any(graph.are_adjacent(v, u) for u in selected):
                     continue

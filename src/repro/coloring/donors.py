@@ -28,11 +28,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.aggregation.runtime import ClusterRuntime
 from repro.coloring.clique_palette import palette_view
 from repro.coloring.errors import StageFailure
 from repro.coloring.types import CliquePaletteView, PartialColoring, UNCOLORED
-from repro.sketch.fingerprint import direct_count_fingerprint
+from repro.graphcore import batch_conflict_mask, batch_label_mismatch_counts, csr_of
+from repro.sketch.fingerprint import batch_count_estimates
 
 
 @dataclass
@@ -48,12 +51,10 @@ class CabalPlan:
 def _colors_in_clique(coloring: PartialColoring, members: list[int]) -> dict[int, int]:
     """Multiplicity of each color inside ``K`` (for uniqueness tests --
     implemented distributedly by random groups doing min-ID scans)."""
-    counts: dict[int, int] = {}
-    for v in members:
-        c = coloring.get(v)
-        if c != UNCOLORED:
-            counts[c] = counts.get(c, 0) + 1
-    return counts
+    cols = coloring.colors[np.asarray(members, dtype=np.int64)]
+    used = cols[cols != UNCOLORED]
+    values, counts = np.unique(used, return_counts=True)
+    return dict(zip(values.tolist(), counts.tolist()))
 
 
 def try_free_colors(
@@ -78,13 +79,17 @@ def try_free_colors(
     for u in plan.put_aside:
         if coloring.is_colored(u):
             continue
+        # one neighbor-color gather per put-aside vertex instead of one
+        # per sampled color (no assignments happen between the k probes)
+        ncols = coloring.neighbor_colors(runtime.graph, u)
+        used = set(ncols[ncols != UNCOLORED].tolist())
         picks = runtime.rng.integers(0, max(1, window.size), size=k)
         chosen = None
         for i in picks:
             c = int(window[int(i)])
             if c in taken:
                 continue
-            if coloring.is_free_for(runtime.graph, u, c):
+            if c not in used:
                 chosen = c
                 break
         if chosen is None:
@@ -108,52 +113,58 @@ def find_candidate_donors(
     """
     graph = runtime.graph
     params = runtime.params
-    put_aside_owner: dict[int, int] = {}
+    csr = csr_of(graph)
+    n_v = graph.n_vertices
+    put_aside_owner = np.full(n_v, -1, dtype=np.int64)
     for plan in plans:
-        for v in plan.put_aside:
-            put_aside_owner[v] = plan.clique_index
+        put_aside_owner[plan.put_aside] = plan.clique_index
 
     # Step 1: colored inliers with no external neighbor in a foreign
-    # put-aside set.  Step 2: independent activation.
-    active_owner: dict[int, int] = {}
+    # put-aside set.  Step 2: independent activation.  The foreign-put
+    # test is one batched owner-mismatch gather per plan; the activation
+    # coins are drawn as one block, which consumes the RNG exactly as the
+    # per-vertex coin loop did.
+    active_owner = np.full(n_v, -1, dtype=np.int64)
     active_by_plan: dict[int, list[int]] = {}
     color_counts: dict[int, dict[int, int]] = {}
     for plan in plans:
-        color_counts[plan.clique_index] = _colors_in_clique(coloring, plan.members)
-        pre: list[int] = []
-        put_mine = set(plan.put_aside)
-        for v in plan.inliers:
-            if not coloring.is_colored(v) or v in put_mine:
-                continue
-            foreign_put = any(
-                put_aside_owner.get(u, plan.clique_index) != plan.clique_index
-                for u in graph.neighbors(v)
+        idx = plan.clique_index
+        color_counts[idx] = _colors_in_clique(coloring, plan.members)
+        inliers = np.asarray(plan.inliers, dtype=np.int64)
+        eligible = coloring.colors[inliers] != UNCOLORED
+        eligible &= put_aside_owner[inliers] != idx
+        foreign_put = (
+            batch_label_mismatch_counts(
+                csr, put_aside_owner, inliers,
+                ignore_label=-1, own_labels=idx,
             )
-            if foreign_put:
-                continue
-            pre.append(v)
-        active = [v for v in pre if runtime.rng.random() < params.donor_activation]
-        active_by_plan[plan.clique_index] = active
-        for v in active:
-            active_owner[v] = plan.clique_index
+            > 0
+        )
+        pre = inliers[eligible & ~foreign_put].tolist()
+        coins = runtime.rng.random(len(pre))
+        active = [v for v, coin in zip(pre, coins) if coin < params.donor_activation]
+        active_by_plan[idx] = active
+        active_owner[active] = idx
     runtime.h_rounds(op + "_activate", count=2)
 
     # Step 3: keep active vertices whose color is unique in K and who have
-    # no *active* external neighbor.
+    # no *active* external neighbor (again one batched gather per plan).
     result: dict[int, list[int]] = {}
     for plan in plans:
         idx = plan.clique_index
         counts = color_counts[idx]
-        chosen: list[int] = []
-        for v in active_by_plan[idx]:
-            if counts.get(coloring.get(v), 0) != 1:
-                continue
-            clash = any(
-                active_owner.get(u, idx) != idx for u in graph.neighbors(v)
+        active = active_by_plan[idx]
+        clash = (
+            batch_label_mismatch_counts(
+                csr, active_owner, active, ignore_label=-1, own_labels=idx
             )
-            if not clash:
-                chosen.append(v)
-        result[idx] = chosen
+            > 0
+        )
+        result[idx] = [
+            v
+            for v, clashes in zip(active, clash)
+            if not clashes and counts.get(coloring.get(v), 0) == 1
+        ]
     runtime.h_rounds(op + "_filter", count=2)
     return result
 
@@ -188,22 +199,30 @@ def find_safe_donors(
     block = params.donor_block_size(runtime.n, graph.max_degree)
 
     # Step 1: every candidate donor samples a uniform clique-palette color
-    # and keeps it only if it is in its own palette too.
+    # and keeps it only if it is in its own palette too.  One block draw
+    # (RNG stream identical to per-donor draws) + one batched conflict
+    # gather; the grouping loop only routes precomputed bits.
     sampled: dict[tuple[int, int], list[int]] = {}  # (color, block_j) -> donors
-    if view.size > 0:
-        for v in donors_q:
-            c = int(view.free[int(runtime.rng.integers(0, view.size))])
-            if not coloring.is_free_for(graph, v, c):
-                continue
-            j = coloring.get(v) // block
-            sampled.setdefault((c, j), []).append(v)
+    if view.size > 0 and donors_q:
+        picks = runtime.rng.integers(0, view.size, size=len(donors_q))
+        colors_drawn = view.free[picks]
+        blocked = batch_conflict_mask(
+            csr_of(graph), coloring.colors, donors_q, colors_drawn
+        )
+        blocks = coloring.colors[np.asarray(donors_q, dtype=np.int64)] // block
+        for v, c, j, is_blocked in zip(
+            donors_q, colors_drawn.tolist(), blocks.tolist(), blocked
+        ):
+            if not is_blocked:
+                sampled.setdefault((c, j), []).append(v)
     runtime.h_rounds(op + "_sample", count=2, bits=runtime.color_bits)
 
-    # Step 2: random group (c, j) estimates its population by fingerprint.
-    beta: dict[tuple[int, int], float] = {}
+    # Step 2: random group (c, j) estimates its population by fingerprint
+    # (one batched draw + estimate over the groups, in insertion order).
     trials = params.fingerprint_trials(runtime.n, 0.5)
-    for key, vs in sampled.items():
-        beta[key] = direct_count_fingerprint(runtime.rng, len(vs), trials).estimate()
+    group_sizes = [len(vs) for vs in sampled.values()]
+    estimates = batch_count_estimates(runtime.rng, group_sizes, trials)
+    beta = dict(zip(sampled.keys(), estimates.tolist()))
     runtime.wide_message(op + "_beta", 2 * trials + 16)
 
     # Steps 3-4: per color, the smallest block whose estimate clears the
@@ -247,15 +266,30 @@ def donate_colors(
     because all of ``S_i`` holds colors from block ``j_i`` (offsets only).
     """
     graph = runtime.graph
+    csr = csr_of(graph)
     k = runtime.params.donation_samples(runtime.n)
     leftover: list[int] = []
     for u, assignment in zip(plan.put_aside, assignments):
         if coloring.is_colored(u):
             continue
+        # one batched conflict gather over the candidate donors (the
+        # coloring mutates between put-aside vertices, so the mask is
+        # rebuilt per ``u`` -- but not per donor)
+        donor_arr = np.asarray(assignment.donors, dtype=np.int64)
+        donor_blocked = (
+            batch_conflict_mask(
+                csr,
+                coloring.colors,
+                donor_arr,
+                np.full(donor_arr.size, assignment.replacement_color),
+            )
+            if donor_arr.size
+            else np.empty(0, dtype=bool)
+        )
         donors = [
             v
-            for v in assignment.donors
-            if coloring.is_free_for(graph, v, assignment.replacement_color)
+            for v, is_blocked in zip(assignment.donors, donor_blocked)
+            if not is_blocked
         ]
         accepted = None
         if donors:

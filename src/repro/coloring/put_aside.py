@@ -17,9 +17,12 @@ few external edges that w.h.p. at least ``r`` survive.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.aggregation.runtime import ClusterRuntime
 from repro.coloring.errors import StageFailure
-from repro.coloring.types import PartialColoring
+from repro.coloring.types import UNCOLORED, PartialColoring
+from repro.graphcore import batch_label_mismatch_counts, csr_of
 
 
 def compute_put_aside(
@@ -47,29 +50,35 @@ def compute_put_aside(
         retries, then falls back for that cabal).
     """
     graph = runtime.graph
+    uncolored = coloring.colors == UNCOLORED
     candidates: dict[int, list[int]] = {}
-    owner: dict[int, int] = {}
+    owner = np.full(graph.n_vertices, -1, dtype=np.int64)
     for idx, pool_all in eligible.items():
-        pool = [v for v in pool_all if not coloring.is_colored(v)]
+        pool = [v for v in pool_all if uncolored[v]]
         want = min(len(pool), 3 * r)
         picks = runtime.rng.permutation(len(pool))[:want]
         chosen = [pool[int(i)] for i in picks]
         candidates[idx] = chosen
-        for v in chosen:
-            owner[v] = idx
+        owner[chosen] = idx
     runtime.h_rounds(op + "_sample", count=2)
 
+    # A candidate survives iff no neighbor belongs to a *different* cabal's
+    # candidate set: one batched foreign-owner gather over all candidates
+    # replaces the per-candidate neighbor scans.
+    flat = [v for chosen in candidates.values() for v in chosen]
+    clash = (
+        batch_label_mismatch_counts(
+            csr_of(graph), owner, flat, ignore_label=-1
+        )
+        > 0
+    )
+
     result: dict[int, list[int]] = {}
+    cursor = 0
     for idx, chosen in candidates.items():
-        survivors: list[int] = []
-        for v in chosen:
-            clash = False
-            for u in graph.neighbors(v):
-                if owner.get(u, idx) != idx:
-                    clash = True
-                    break
-            if not clash:
-                survivors.append(v)
+        clashes = clash[cursor : cursor + len(chosen)]
+        cursor += len(chosen)
+        survivors = [v for v, bad in zip(chosen, clashes) if not bad]
         if len(survivors) < r:
             raise StageFailure(
                 op,

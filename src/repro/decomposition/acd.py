@@ -24,7 +24,8 @@ from repro.aggregation.bfs import bfs_forest
 from repro.aggregation.runtime import ClusterRuntime
 from repro.decomposition.buddy import buddy_predicate
 from repro.decomposition.sparsity import is_valid_almost_clique
-from repro.sketch.fingerprint import direct_count_fingerprint
+from repro.graphcore import label_components
+from repro.sketch.fingerprint import batch_count_estimates
 
 
 @dataclass
@@ -125,47 +126,34 @@ def compute_acd(
     buddy = buddy_predicate(runtime, xi, op=op + "_buddy")
 
     # Step 2: estimate per-vertex buddy-edge counts (Lemma 5.7, predicate
-    # "incident edge is a buddy edge").
-    buddy_count = np.zeros(n_v, dtype=np.int64)
-    for u, v in buddy.yes_edges:
-        buddy_count[u] += 1
-        buddy_count[v] += 1
-    trials = params.fingerprint_trials(runtime.n, max(xi, 1e-3))
-    estimates = np.array(
-        [
-            direct_count_fingerprint(runtime.rng, int(c), trials).estimate()
-            for c in buddy_count
-        ]
+    # "incident edge is a buddy edge").  One batched fingerprint draw +
+    # estimate over all vertices; the RNG stream matches the per-vertex
+    # loop this replaces bitwise.
+    yes_u, yes_v = buddy.yes_edge_arrays()
+    buddy_count = np.bincount(yes_u, minlength=n_v) + np.bincount(
+        yes_v, minlength=n_v
     )
+    trials = params.fingerprint_trials(runtime.n, max(xi, 1e-3))
+    estimates = batch_count_estimates(runtime.rng, buddy_count, trials)
     runtime.wide_message(op + "_count", 2 * trials + 16)
-    dense_candidates = {
-        v for v in range(n_v) if estimates[v] >= (1 - 3 * xi) * delta
-    }
+    dense_mask = estimates >= (1 - 3 * xi) * delta
 
     # Step 3: components of the buddy graph restricted to dense candidates.
-    adj: dict[int, list[int]] = {v: [] for v in dense_candidates}
-    for u, v in buddy.yes_edges:
-        if u in dense_candidates and v in dense_candidates:
-            adj[u].append(v)
-            adj[v].append(u)
-    seen: set[int] = set()
+    # Min-id label propagation (diameter-2 components, so O(1) sweeps);
+    # grouping by label in id order reproduces the per-vertex BFS's
+    # component enumeration exactly.
+    comp_labels = label_components(yes_u, yes_v, n_v, dense_mask)
     components: list[list[int]] = []
-    for start in sorted(dense_candidates):
-        if start in seen:
-            continue
-        comp = [start]
-        seen.add(start)
-        frontier = [start]
-        while frontier:
-            nxt = []
-            for x in frontier:
-                for y in adj[x]:
-                    if y not in seen:
-                        seen.add(y)
-                        comp.append(y)
-                        nxt.append(y)
-            frontier = nxt
-        components.append(sorted(comp))
+    if dense_mask.any():
+        dense = np.flatnonzero(dense_mask)
+        order = np.argsort(comp_labels[dense], kind="stable")
+        grouped = dense[order]
+        boundaries = np.flatnonzero(
+            np.diff(comp_labels[grouped], prepend=-2)
+        )
+        components = [
+            part.tolist() for part in np.split(grouped, boundaries[1:])
+        ]
     if components:
         # Leader election + id dissemination: O(1)-round BFS on the
         # vertex-disjoint components (Lemma 3.2).
@@ -185,9 +173,8 @@ def compute_acd(
             repaired += 1
     clique_of = np.full(n_v, -1, dtype=np.int64)
     for idx, comp in enumerate(kept):
-        for v in comp:
-            clique_of[v] = idx
-    sparse = [v for v in range(n_v) if clique_of[v] < 0]
+        clique_of[comp] = idx
+    sparse = np.flatnonzero(clique_of < 0).tolist()
     return AlmostCliqueDecomposition(
         sparse=sparse,
         cliques=kept,

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from repro.aggregation.runtime import ClusterRuntime
 from repro.decomposition.acd import AlmostCliqueDecomposition
-from repro.sketch.fingerprint import direct_count_fingerprint
+from repro.graphcore import batch_label_mismatch_counts, csr_of
+from repro.sketch.fingerprint import batch_count_estimates
 
 
 def annotate_with_cabals(
@@ -41,14 +42,19 @@ def annotate_with_cabals(
     delta = graph.max_degree
     trials = params.fingerprint_trials(n, max(params.delta, 1e-3))
 
+    # All dense vertices at once: external degrees are one label-mismatch
+    # gather over the CSR (label = clique id), estimates one batched
+    # fingerprint pass.  Vertex order (clique by clique, members in order)
+    # matches the per-vertex loop this replaces, so the RNG stream and the
+    # resulting estimates are bitwise identical.
+    dense = [v for members in acd.cliques for v in members]
     e_tilde: dict[int, float] = {}
-    for members in acd.cliques:
-        for v in members:
-            true_external = acd.external_degree_true(graph, v)
-            estimate = direct_count_fingerprint(
-                runtime.rng, true_external, trials
-            ).estimate()
-            e_tilde[v] = estimate
+    if dense:
+        true_external = batch_label_mismatch_counts(
+            csr_of(graph), acd.clique_of, dense
+        )
+        estimates = batch_count_estimates(runtime.rng, true_external, trials)
+        e_tilde = {v: float(e) for v, e in zip(dense, estimates)}
     runtime.wide_message(op + "_external", 2 * trials + 16)
 
     e_tilde_clique: list[float] = []

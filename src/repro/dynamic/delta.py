@@ -74,6 +74,7 @@ class DeltaCSR:
         return self._alive
 
     def is_alive(self, v: int) -> bool:
+        """Whether id ``v`` is currently a live vertex."""
         return bool(self._alive[v])
 
     @property
@@ -83,6 +84,7 @@ class DeltaCSR:
 
     @property
     def max_degree(self) -> int:
+        """Current ``Delta`` over live vertices (0 for an empty graph)."""
         return int(self._degrees.max()) if self._n else 0
 
     @property

@@ -76,40 +76,49 @@ class StreamResult:
 
     @property
     def batches(self) -> int:
+        """Number of batches consumed."""
         return len(self.reports)
 
     @property
     def all_proper(self) -> bool:
+        """Whether every batch ended checker-proper."""
         return all(r.proper for r in self.reports)
 
     @property
     def total_repaired(self) -> int:
+        """Vertices recolored across the whole stream."""
         return sum(r.repaired for r in self.reports)
 
     @property
     def mean_recolor_fraction(self) -> float:
+        """Mean per-batch recolored fraction (0 for an empty stream)."""
         if not self.reports:
             return 0.0
         return sum(r.recolor_fraction for r in self.reports) / len(self.reports)
 
     @property
     def max_recolor_fraction(self) -> float:
+        """Worst per-batch recolored fraction (1.0 marks an escalation)."""
         return max((r.recolor_fraction for r in self.reports), default=0.0)
 
     @property
     def escalations(self) -> int:
+        """Batches that fell back to a full scratch recolor."""
         return sum(1 for r in self.reports if r.escalated)
 
     @property
     def rounds_h(self) -> int:
+        """Total ledger H-rounds charged over the stream."""
         return sum(r.rounds_h for r in self.reports)
 
     @property
     def message_bits(self) -> int:
+        """Total ledger payload bits charged over the stream."""
         return sum(r.message_bits for r in self.reports)
 
     @property
     def wall_time_s(self) -> float:
+        """Wall-clock seconds spent inside ``apply`` over the stream."""
         return sum(r.wall_time_s for r in self.reports)
 
 
@@ -194,22 +203,29 @@ class DynamicColoring:
 
     @property
     def n_vertices(self) -> int:
+        """Allocated vertex ids, dead ones included (ids are stable)."""
         return self.delta.n_vertices
 
     @property
     def n_alive(self) -> int:
+        """Live vertices (the denominator of ``recolor_fraction``)."""
         return self.delta.n_alive
 
     @property
     def n_machines(self) -> int:
+        """Machines across live clusters (drives bandwidth-bit sizing)."""
         return int(self.cluster_sizes[self.delta.alive_mask].sum())
 
     @property
     def max_degree(self) -> int:
+        """Current ``Delta``; the palette is re-tightened to ``Delta + 1``
+        after every batch."""
         return self.delta.max_degree
 
     @property
     def dilation(self) -> int:
+        """Max support-tree height over live clusters (estimated after
+        merge/split; see ROADMAP)."""
         alive = self.delta.alive_mask
         if not alive.any():
             return 1
@@ -217,6 +233,7 @@ class DynamicColoring:
 
     @property
     def color_bits(self) -> int:
+        """Bits of one color message under the current palette."""
         return log2ceil(self.num_colors + 1)
 
     def snapshot_graph(self) -> FrozenConflictGraph:

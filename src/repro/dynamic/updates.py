@@ -84,30 +84,38 @@ class UpdateBatch:
     # -- convenience constructors ---------------------------------------------
 
     def edge_insert(self, u: int, v: int) -> "UpdateBatch":
+        """Append an H-edge insertion ``{u, v}`` (chainable)."""
         self.updates.append(Update("edge_insert", u=u, v=v))
         return self
 
     def edge_delete(self, u: int, v: int) -> "UpdateBatch":
+        """Append an H-edge deletion ``{u, v}`` (chainable)."""
         self.updates.append(Update("edge_delete", u=u, v=v))
         return self
 
     def vertex_add(self, edges: Iterable[int] = (), size: int = 1) -> "UpdateBatch":
+        """Append a cluster arrival: the next sequential id, wired to
+        ``edges``, carrying ``size`` machines (chainable)."""
         self.updates.append(
             Update("vertex_add", edges=tuple(edges), size=size)
         )
         return self
 
     def vertex_remove(self, u: int) -> "UpdateBatch":
+        """Append a cluster departure of ``u`` (chainable)."""
         self.updates.append(Update("vertex_remove", u=u))
         return self
 
     def cluster_merge(self, u: int, v: int) -> "UpdateBatch":
+        """Append a merge: ``u`` absorbs its H-neighbor ``v`` (chainable)."""
         self.updates.append(Update("cluster_merge", u=u, v=v))
         return self
 
     def cluster_split(
         self, u: int, moved_neighbors: Iterable[int], size: int = 1
     ) -> "UpdateBatch":
+        """Append a split of ``u``: ``moved_neighbors`` rewire to the new
+        half, which takes ``size`` machines (chainable)."""
         self.updates.append(
             Update("cluster_split", u=u, edges=tuple(moved_neighbors), size=size)
         )

@@ -48,27 +48,34 @@ class FrozenConflictGraph:
 
     @property
     def n_vertices(self) -> int:
+        """Number of allocated vertex ids (dead ids included, isolated)."""
         return self.csr.n_vertices
 
     @property
     def n_machines(self) -> int:
+        """Total machines across live clusters (the ``n`` of w.h.p. bounds)."""
         return int(self.cluster_sizes.sum())
 
     @property
     def max_degree(self) -> int:
+        """``Delta`` of the snapshot (0 for an edgeless graph)."""
         degrees = self.csr.degrees
         return int(degrees.max()) if degrees.size else 0
 
     def degree(self, v: int) -> int:
+        """H-degree of ``v`` (0 for dead ids)."""
         return int(self.csr.indptr[v + 1] - self.csr.indptr[v])
 
     def neighbors(self, v: int) -> list[int]:
+        """Sorted H-neighbor list of ``v`` (fresh per call)."""
         return self.csr.neighbors(v).tolist()
 
     def neighbor_array(self, v: int) -> np.ndarray:
+        """H-neighbors of ``v`` as a zero-copy CSR slice (kernel input)."""
         return self.csr.neighbors(v)
 
     def neighbor_set(self, v: int) -> frozenset[int]:
+        """H-neighbors of ``v`` as a frozenset, cached per vertex."""
         cached = self._neighbor_sets.get(v)
         if cached is None:
             cached = frozenset(self.csr.neighbors(v).tolist())
@@ -76,26 +83,33 @@ class FrozenConflictGraph:
         return cached
 
     def are_adjacent(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an H-edge (binary search on the CSR)."""
         nbrs = self.csr.neighbors(u)
         i = int(np.searchsorted(nbrs, v))
         return i < nbrs.size and int(nbrs[i]) == v
 
     def anti_neighbors_within(self, v: int, vertex_set) -> list[int]:
+        """Vertices of ``vertex_set`` not adjacent to ``v`` (Section 4.1)."""
         nbrs = self.neighbor_set(v)
         return [u for u in vertex_set if u != v and u not in nbrs]
 
     def cluster_size(self, v: int) -> int:
+        """Machines in cluster ``v`` at snapshot time (0 for dead ids)."""
         return int(self.cluster_sizes[v])
 
     def iter_h_edges(self):
+        """All H-edges ``(u, v)`` with ``u < v`` (lexicographic)."""
         edge_u, edge_v = self.csr.edge_arrays()
         return zip(edge_u.tolist(), edge_v.tolist())
 
     def h_edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Undirected edge list as ``(u, v)`` arrays with ``u < v`` (the
+        vectorized properness checker's input)."""
         return self.csr.edge_arrays()
 
     @property
     def n_h_edges(self) -> int:
+        """Number of H-edges in the snapshot."""
         return self.csr.n_directed_edges // 2
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -16,12 +16,14 @@ colorings of pinned seeds (property-tested in ``tests/test_graphcore.py``).
 from repro.graphcore.csr import CSRAdjacency, csr_of
 from repro.graphcore.kernels import (
     batch_conflict_mask,
+    batch_label_mismatch_counts,
     batch_neighbor_colors,
     batch_slack_counts,
     batch_used_color_masks,
     conflict_mask_from_flat,
     gather_neighborhoods,
     is_proper_edges,
+    label_components,
     neighborhood_max_rows,
     used_color_masks_from_flat,
     violations_edges,
@@ -31,12 +33,14 @@ __all__ = [
     "CSRAdjacency",
     "csr_of",
     "batch_conflict_mask",
+    "batch_label_mismatch_counts",
     "batch_neighbor_colors",
     "batch_slack_counts",
     "batch_used_color_masks",
     "conflict_mask_from_flat",
     "gather_neighborhoods",
     "is_proper_edges",
+    "label_components",
     "neighborhood_max_rows",
     "used_color_masks_from_flat",
     "violations_edges",

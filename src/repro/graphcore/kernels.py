@@ -187,6 +187,83 @@ def batch_slack_counts(
     return free_counts - uncolored_deg
 
 
+def batch_label_mismatch_counts(
+    csr: CSRAdjacency,
+    labels: np.ndarray,
+    vertices,
+    *,
+    ignore_label: int | None = None,
+    own_labels: np.ndarray | int | None = None,
+) -> np.ndarray:
+    """For each query vertex, how many neighbors carry a *different* label.
+
+    ``labels`` is an n-sized int array (cluster ids, cabal ownership marks,
+    ...).  A neighbor ``u`` of query vertex ``v`` counts iff
+    ``labels[u] != own`` and (when ``ignore_label`` is given)
+    ``labels[u] != ignore_label``, where ``own`` defaults to ``labels[v]``
+    and can be overridden per query (or as one shared scalar) via
+    ``own_labels`` -- the cabal filters compare neighbors against the
+    *cabal index* of the query, which is not stored in ``labels``.
+
+    This is the shared gather behind the decomposition's external-degree
+    pass (label = clique id, count neighbors outside the clique) and the
+    cabal machinery's cross-cabal independence filters (label = owning
+    cabal with ``ignore_label`` marking unowned vertices) -- one CSR gather
+    plus a ``bincount`` instead of a per-vertex Python scan.
+
+    Returns an int64 count array aligned with ``vertices``; ``counts > 0``
+    is the "has a foreign neighbor" predicate.
+    """
+    verts = _as_vertex_array(vertices)
+    seg_ids, flat = gather_neighborhoods(csr, verts)
+    nbr_labels = labels[flat]
+    if own_labels is None:
+        own = labels[verts][seg_ids]
+    elif np.isscalar(own_labels):
+        own = own_labels
+    else:
+        own = np.asarray(own_labels, dtype=np.int64)[seg_ids]
+    mismatch = nbr_labels != own
+    if ignore_label is not None:
+        mismatch &= nbr_labels != ignore_label
+    return np.bincount(seg_ids[mismatch], minlength=verts.size)
+
+
+def label_components(
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    n_vertices: int,
+    active_mask: np.ndarray,
+) -> np.ndarray:
+    """Connected components of the subgraph induced by ``active_mask`` over
+    an explicit undirected edge list, as min-vertex-id labels.
+
+    Iterated min-label propagation: each pass scatters the coordinate-wise
+    minimum across surviving edges (both directions) until a fixpoint.  The
+    pass count is bounded by the component diameter -- the ACD's dense
+    components have diameter 2 ([ACK19, Lemma 4.8]), so this replaces the
+    per-vertex BFS of ComputeACD step 3 with ``O(1)`` numpy sweeps.
+
+    Returns an int64 array with ``labels[v] = min vertex id of v's
+    component`` for active vertices and ``-1`` elsewhere.
+    """
+    labels = np.full(n_vertices, -1, dtype=np.int64)
+    active = np.flatnonzero(active_mask)
+    labels[active] = active
+    eu = np.asarray(edge_u, dtype=np.int64).reshape(-1)
+    ev = np.asarray(edge_v, dtype=np.int64).reshape(-1)
+    if eu.size:
+        keep = active_mask[eu] & active_mask[ev]
+        eu, ev = eu[keep], ev[keep]
+        for _ in range(max(1, n_vertices)):
+            prev = labels.copy()
+            np.minimum.at(labels, eu, labels[ev])
+            np.minimum.at(labels, ev, labels[eu])
+            if np.array_equal(prev, labels):
+                break
+    return labels
+
+
 def neighborhood_max_rows(
     csr: CSRAdjacency,
     rows: np.ndarray,

@@ -9,11 +9,14 @@ from repro.sketch.geometric import (
     prob_max_below,
     sample_geometric,
     sample_max_of_geometrics,
+    sample_max_of_geometrics_batch,
 )
 from repro.sketch.fingerprint import (
     Fingerprint,
     FingerprintTable,
+    batch_count_estimates,
     batch_estimate,
+    batch_estimate_exact,
     direct_count_fingerprint,
     estimate_cardinality,
     failure_probability_bound,
@@ -44,9 +47,12 @@ __all__ = [
     "prob_max_below",
     "sample_geometric",
     "sample_max_of_geometrics",
+    "sample_max_of_geometrics_batch",
     "Fingerprint",
     "FingerprintTable",
+    "batch_count_estimates",
     "batch_estimate",
+    "batch_estimate_exact",
     "direct_count_fingerprint",
     "neighborhood_maxima",
     "estimate_cardinality",

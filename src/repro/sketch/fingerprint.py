@@ -29,6 +29,7 @@ from repro.sketch.geometric import (
     merge_maxima,
     sample_geometric,
     sample_max_of_geometrics,
+    sample_max_of_geometrics_batch,
 )
 
 _THRESHOLD_NUM = 27
@@ -68,13 +69,17 @@ def estimate_cardinality(maxima: np.ndarray) -> float:
     return math.log(z_eff / t) / math.log(1.0 - 2.0 ** (-k_star))
 
 
-def batch_estimate(maxima: np.ndarray) -> np.ndarray:
-    """Vectorized Lemma 5.2 estimator over a ``(rows, t)`` matrix of maxima.
+def _batch_order_statistics(
+    maxima: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared integer core of the batched Lemma 5.2 estimators.
 
-    Identical to :func:`estimate_cardinality` per row (shared logic: with
-    ``q = ceil((27/40) t)``, the threshold ``K*`` equals the ``q``-th order
-    statistic plus one, since ``Z_k >= q  iff  k > Y_(q)``).  Rows that are
-    entirely ``EMPTY_MAX`` estimate 0.
+    With ``q = ceil((27/40) t)``, the threshold ``K*`` equals the ``q``-th
+    order statistic plus one (``Z_k >= q  iff  k > Y_(q)``).  Returns
+    ``(k_star, z, empty_rows)`` with ``k_star`` clamped to ``>= 1`` and
+    ``z`` clipped to ``[0.5, t - 0.5]`` exactly as
+    :func:`estimate_cardinality` does -- these are integer/exact
+    quantities, so both batched variants agree with the scalar loop here.
     """
     if maxima.ndim != 2:
         raise ValueError("expected a (rows, trials) matrix")
@@ -91,7 +96,45 @@ def batch_estimate(maxima: np.ndarray) -> np.ndarray:
     z = (maxima < k_star[:, None]).sum(axis=1).astype(np.float64)
     z = np.clip(z, 0.5, t - 0.5)
     k_star = np.maximum(k_star, 1)
+    return k_star, z, empty_rows
+
+
+def batch_estimate(maxima: np.ndarray) -> np.ndarray:
+    """Vectorized Lemma 5.2 estimator over a ``(rows, t)`` matrix of maxima.
+
+    Agrees with :func:`estimate_cardinality` per row up to one ulp (the
+    fully vectorized ``log1p``/``exp2`` final step can round differently in
+    the last bit); rows that are entirely ``EMPTY_MAX`` estimate 0.  Use
+    :func:`batch_estimate_exact` when a per-vertex loop is being replaced
+    and bitwise identity matters.
+    """
+    rows, t = maxima.shape if maxima.ndim == 2 else (0, 0)
+    k_star, z, empty_rows = _batch_order_statistics(maxima)
     estimates = np.log(z / t) / np.log1p(-np.exp2(-k_star.astype(np.float64)))
+    estimates[empty_rows] = 0.0
+    return estimates
+
+
+def batch_estimate_exact(maxima: np.ndarray) -> np.ndarray:
+    """Bitwise-exact batched Lemma 5.2 estimator.
+
+    The order statistics (integer, exact) are vectorized; the two ``log``
+    calls per row go through :mod:`math` so every row reproduces
+    :func:`estimate_cardinality` to the last bit -- the contract the
+    decomposition's pinned-seed bitwise tests rely on.  ``O(rows)`` scalar
+    math on top of the vectorized core is noise next to the
+    ``O(rows * trials)`` partition.
+    """
+    rows, t = maxima.shape if maxima.ndim == 2 else (0, 0)
+    k_star, z, empty_rows = _batch_order_statistics(maxima)
+    estimates = np.fromiter(
+        (
+            math.log(zi / t) / math.log(1.0 - 2.0 ** (-int(ki)))
+            for zi, ki in zip(z, k_star)
+        ),
+        dtype=np.float64,
+        count=rows,
+    )
     estimates[empty_rows] = 0.0
     return estimates
 
@@ -215,3 +258,25 @@ def direct_count_fingerprint(
     straight from the max distribution (identical in law; ``O(trials)``).
     """
     return Fingerprint(sample_max_of_geometrics(rng, d, trials, lam))
+
+
+def batch_count_estimates(
+    rng: np.random.Generator,
+    counts: np.ndarray,
+    trials: int,
+    lam: float = DEFAULT_LAMBDA,
+) -> np.ndarray:
+    """Lemma 5.2 estimates for many anonymous set sizes in two matrix ops.
+
+    The batched replacement for a per-vertex loop of
+    ``direct_count_fingerprint(rng, d, trials).estimate()``: one
+    :func:`~repro.sketch.geometric.sample_max_of_geometrics_batch` draw (RNG
+    stream bitwise identical to the loop, rows with ``counts == 0`` drawing
+    nothing) followed by one :func:`batch_estimate_exact` pass (bitwise
+    identical to per-row :func:`estimate_cardinality`).
+
+    Returns a float64 array aligned with ``counts``; zero-count rows
+    estimate exactly 0.
+    """
+    maxima = sample_max_of_geometrics_batch(rng, counts, trials, lam)
+    return batch_estimate_exact(maxima)

@@ -69,6 +69,53 @@ def sample_max_of_geometrics(
     return np.maximum(y, 0)
 
 
+def sample_max_of_geometrics_batch(
+    rng: np.random.Generator,
+    counts: np.ndarray,
+    trials: int,
+    lam: float = DEFAULT_LAMBDA,
+) -> np.ndarray:
+    """Sample :func:`sample_max_of_geometrics` for many set sizes at once.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source.  The uniform draws are consumed in exactly the
+        order a per-row loop of :func:`sample_max_of_geometrics` would
+        consume them (rows with ``counts == 0`` draw nothing), so replacing
+        such a loop with one batched call keeps the RNG stream bitwise
+        identical -- the invariant the decomposition vectorization relies on.
+    counts:
+        int array of set sizes ``d``, one per output row.  Must be
+        non-negative.
+    trials:
+        Number of parallel trials ``t`` (columns).
+
+    Returns
+    -------
+    An ``(len(counts), trials)`` int64 matrix whose row ``i`` is distributed
+    as the coordinate-wise maximum of ``counts[i]`` geometric(``lam``)
+    fingerprint rows; rows with ``counts[i] == 0`` are all ``EMPTY_MAX``.
+    """
+    d = np.asarray(counts, dtype=np.int64).reshape(-1)
+    if d.size and int(d.min()) < 0:
+        raise ValueError("counts must be non-negative")
+    out = np.full((d.size, trials), EMPTY_MAX, dtype=np.int64)
+    positive = d > 0
+    k = int(positive.sum())
+    if k == 0 or trials == 0:
+        return out
+    u = rng.random((k, trials))
+    # identical elementwise arithmetic to sample_max_of_geometrics, with the
+    # per-row divisor broadcast down the rows
+    log_u = np.log(np.clip(u, 1e-300, 1.0))
+    tail = -np.expm1(log_u / d[positive, None])
+    tail = np.clip(tail, 1e-300, 1.0)
+    y = np.ceil(np.log(tail) / math.log(lam)).astype(np.int64) - 1
+    out[positive] = np.maximum(y, 0)
+    return out
+
+
 def prob_max_below(k: int, d: int, lam: float = DEFAULT_LAMBDA) -> float:
     """``P(max of d geometrics < k) = (1 - lam^k)^d`` (Claim 5.1)."""
     if d == 0:

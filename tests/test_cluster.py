@@ -102,9 +102,10 @@ class TestClusterGraph:
         assert a1.base is h.csr.indices or a1 is h.csr.indices
 
     def test_csr_survives_replace_and_pickle(self):
-        """The lazy ``_adj_arrays`` cache this replaces silently vanished
-        under dataclasses.replace and never reached pool workers; the CSR
-        backbone is rebuilt by ``__post_init__`` in both paths."""
+        """The lazy ``_adj_arrays`` cache of the pre-CSR design silently
+        vanished under dataclasses.replace and never reached pool workers;
+        the CSR backbone is a real init field, so both paths carry it (the
+        immutable structure is shared, not rebuilt)."""
         import dataclasses
         import pickle
 
@@ -112,10 +113,24 @@ class TestClusterGraph:
         h = ClusterGraph.identity(comm)
         replaced = dataclasses.replace(h)
         assert list(replaced.neighbor_array(1)) == [0, 2]
-        assert replaced.csr is not h.csr
+        assert replaced.csr is h.csr
         revived = pickle.loads(pickle.dumps(h))
         assert list(revived.neighbor_array(1)) == [0, 2]
         assert list(revived.csr.indptr) == list(h.csr.indptr)
+
+    def test_adj_view_is_lazy_and_consistent(self):
+        """``adj`` materializes from the CSR on first access only; until
+        then construction boxes no per-edge Python ints."""
+        comm = CommGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        h = ClusterGraph.identity(comm)
+        assert h._adj is None  # nothing materialized at construction
+        assert h.degree(1) == 2  # degree served straight from the CSR
+        assert h.neighbors(1) == [0, 2]  # per-call CSR slice
+        assert h._adj is None
+        view = h.adj
+        assert view[1] == [0, 2]
+        assert h._adj is view  # cached after first access
+        assert h.neighbors(1) is view[1]  # served from the cache now
 
 
 class TestBuilders:
@@ -188,3 +203,43 @@ class TestVirtualGraph:
     def test_power_degree_bound(self):
         comm = CommGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
         assert power_graph_degree_bound(comm) == 4  # middle vertex sees all
+
+
+class TestBuildForest:
+    """The vectorized all-clusters BFS must reproduce the per-cluster
+    sequential build exactly: roots, parents, depths, heights, and even
+    the dict insertion (discovery) order."""
+
+    @pytest.mark.parametrize("trial", range(12))
+    def test_matches_sequential_build(self, trial):
+        from repro.cluster import build_forest
+
+        rng = np.random.default_rng(trial)
+        n = int(rng.integers(5, 150))
+        edges = [(i, int(rng.integers(0, i))) for i in range(1, n)]
+        extra = rng.integers(0, n, size=(2 * n, 2))
+        edges += [(int(a), int(b)) for a, b in extra if a != b]
+        comm = CommGraph(n, edges)
+        k = int(rng.integers(1, n + 1))
+        cg = voronoi_clusters(comm, k, np.random.default_rng(trial + 100))
+        assign = np.asarray(cg.assignment, dtype=np.int64)
+        forest = build_forest(comm, assign, cg.clusters)
+        for cid, members in enumerate(cg.clusters):
+            ref = SupportTree.build_bfs(comm, members, cluster_id=cid)
+            got = forest[cid]
+            assert got.root == ref.root
+            assert got.parent == ref.parent
+            assert list(got.parent) == list(ref.parent)  # discovery order
+            assert got.depth_of == ref.depth_of
+            assert got.height == ref.height
+
+    def test_disconnected_cluster_reported_like_sequential(self):
+        from repro.cluster import build_forest
+
+        comm = CommGraph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="cluster 0 is not connected"):
+            build_forest(
+                comm,
+                np.array([0, 0, 0, 1], dtype=np.int64),
+                [[0, 1, 2], [3]],
+            )

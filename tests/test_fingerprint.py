@@ -138,3 +138,63 @@ class TestNeighborhoodMaxima:
             else:
                 expected = table.rows[nbrs].max(axis=0)
                 assert (out[v] == expected).all()
+
+
+class TestBatchSampling:
+    """The batched direct-count path must replay the per-vertex loop's RNG
+    stream and estimates bitwise -- the decomposition vectorization's
+    contract."""
+
+    def test_batch_maxima_replay_loop_bitwise(self, rng):
+        from repro.sketch import sample_max_of_geometrics, sample_max_of_geometrics_batch
+
+        counts = np.random.default_rng(0).integers(0, 300, size=120)
+        state = rng.bit_generator.state
+        loop = np.stack(
+            [sample_max_of_geometrics(rng, int(d), 33) for d in counts]
+        )
+        rng2 = np.random.default_rng()
+        rng2.bit_generator.state = state
+        batch = sample_max_of_geometrics_batch(rng2, counts, 33)
+        assert np.array_equal(loop, batch)
+        # both generators must land on the same stream position too
+        assert rng.bit_generator.state == rng2.bit_generator.state
+
+    def test_batch_estimate_exact_is_bitwise(self, rng):
+        from repro.sketch import batch_estimate_exact
+
+        counts = np.random.default_rng(1).integers(0, 5000, size=400)
+        rows = np.stack(
+            [direct_count_fingerprint(rng, int(d), 64).maxima for d in counts]
+        )
+        exact = batch_estimate_exact(rows)
+        scalar = np.array([estimate_cardinality(r) for r in rows])
+        # array_equal, not allclose: the exact variant promises the last bit
+        assert np.array_equal(exact, scalar)
+
+    def test_batch_count_estimates_replays_loop(self, rng):
+        from repro.sketch import batch_count_estimates
+
+        counts = np.random.default_rng(2).integers(0, 200, size=80)
+        state = rng.bit_generator.state
+        loop = np.array(
+            [direct_count_fingerprint(rng, int(d), 41).estimate() for d in counts]
+        )
+        rng2 = np.random.default_rng()
+        rng2.bit_generator.state = state
+        batch = batch_count_estimates(rng2, counts, 41)
+        assert np.array_equal(loop, batch)
+
+    def test_negative_counts_rejected(self, rng):
+        from repro.sketch import sample_max_of_geometrics_batch
+
+        with pytest.raises(ValueError):
+            sample_max_of_geometrics_batch(rng, np.array([3, -1]), 8)
+
+    def test_zero_counts_draw_nothing(self, rng):
+        from repro.sketch import sample_max_of_geometrics_batch
+
+        state = rng.bit_generator.state
+        out = sample_max_of_geometrics_batch(rng, np.zeros(5, dtype=np.int64), 16)
+        assert (out == EMPTY_MAX).all()
+        assert rng.bit_generator.state == state  # untouched stream

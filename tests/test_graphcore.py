@@ -15,12 +15,14 @@ from repro.coloring.types import UNCOLORED, PartialColoring
 from repro.graphcore import (
     CSRAdjacency,
     batch_conflict_mask,
+    batch_label_mismatch_counts,
     batch_neighbor_colors,
     batch_slack_counts,
     batch_used_color_masks,
     csr_of,
     gather_neighborhoods,
     is_proper_edges,
+    label_components,
     neighborhood_max_rows,
     violations_edges,
 )
@@ -271,3 +273,65 @@ class TestCSRFromAdjLists:
         assert csr.neighbors(0).size == 0
         assert csr.neighbors(1).tolist() == [2]
         assert csr.degrees.tolist() == [0, 1, 1, 0]
+
+
+class TestLabelKernels:
+    """The decomposition/cabal vectorization kernels vs naive references."""
+
+    @given(**graph_params)
+    @settings(max_examples=60, deadline=None)
+    def test_label_mismatch_counts_match_scan(self, seed, n, density):
+        g = random_graph(seed, n, density)
+        rng = np.random.default_rng(seed + 3)
+        labels = rng.integers(-1, 4, size=n)
+        verts = rng.permutation(n)[: max(1, n // 2)]
+        counts = batch_label_mismatch_counts(g.csr, labels, verts)
+        ignored = batch_label_mismatch_counts(
+            g.csr, labels, verts, ignore_label=-1
+        )
+        overridden = batch_label_mismatch_counts(
+            g.csr, labels, verts, ignore_label=-1, own_labels=2
+        )
+        for i, v in enumerate(verts):
+            nbrs = g.adj[int(v)]
+            assert counts[i] == sum(
+                1 for u in nbrs if labels[u] != labels[v]
+            )
+            assert ignored[i] == sum(
+                1 for u in nbrs if labels[u] != labels[v] and labels[u] != -1
+            )
+            assert overridden[i] == sum(
+                1 for u in nbrs if labels[u] != 2 and labels[u] != -1
+            )
+
+    @given(**graph_params)
+    @settings(max_examples=60, deadline=None)
+    def test_label_components_match_bfs(self, seed, n, density):
+        """Min-id propagation equals an explicit BFS over the active
+        subgraph -- the ComputeACD step 3 contract."""
+        g = random_graph(seed, n, density)
+        rng = np.random.default_rng(seed + 4)
+        active = rng.random(n) < 0.6
+        eu, ev = g.h_edge_arrays()
+        labels = label_components(eu, ev, n, active)
+        # reference: per-vertex BFS restricted to active vertices
+        adj = {v: [] for v in range(n) if active[v]}
+        for u, v in zip(eu.tolist(), ev.tolist()):
+            if active[u] and active[v]:
+                adj[u].append(v)
+                adj[v].append(u)
+        expected = np.full(n, -1, dtype=np.int64)
+        for start in sorted(adj):
+            if expected[start] >= 0:
+                continue
+            comp, frontier = [start], [start]
+            expected[start] = start
+            while frontier:
+                nxt = []
+                for x in frontier:
+                    for y in adj[x]:
+                        if expected[y] < 0:
+                            expected[y] = start
+                            nxt.append(y)
+                frontier = nxt
+        assert np.array_equal(labels, expected)
