@@ -19,9 +19,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.aggregation.runtime import ClusterRuntime
-from repro.graphcore import csr_of, neighborhood_max_rows
-from repro.sketch.fingerprint import FingerprintTable, batch_estimate
-from repro.sketch.geometric import EMPTY_MAX
+from repro.graphcore import csr_of
+from repro.sketch.fingerprint import FingerprintTable
+from repro.sketch.streaming import StreamingUnionEstimator
 
 
 @dataclass
@@ -71,9 +71,15 @@ def buddy_predicate(
     trials = runtime.params.fingerprint_trials(runtime.n, max(xi / 2.0, 1e-3))
 
     table = FingerprintTable(n_v, trials, runtime.rng)
-    rows = neighborhood_max_rows(csr_of(graph), table.rows, empty_value=EMPTY_MAX)
+    stream = StreamingUnionEstimator.from_csr_neighborhoods(
+        csr_of(graph), table.rows
+    )
+    rows = stream.state
 
-    degree_estimates = batch_estimate(rows)
+    # One fused order-statistics pass serves both the degree estimates and
+    # the union probes: the planes index caches per-row (K*, Z).
+    planes = stream.union_planes()
+    degree_estimates = planes.row_estimates()
     # Charge: fingerprint convergecast + broadcast (pipelined wide messages).
     bits = 2 * trials + 16
     runtime.wide_message(op + "_degree", bits)
@@ -92,22 +98,16 @@ def buddy_predicate(
         # |N(u) ∩ N(v)| = deg(u) + deg(v) - |N(u) ∪ N(v)|, every term
         # estimated by a fingerprint; accept when the intersection clears the
         # midpoint between the YES ((1-xi)Delta) and NO ((1-2xi)Delta) cases.
-        # Edges processed in chunks: the union matrix is (edges x trials) and
-        # must not dominate peak memory on dense graphs.
-        chunk = max(1, (1 << 24) // max(1, trials))
-        accept_all = np.zeros(edge_u.size, dtype=bool)
-        for start in range(0, edge_u.size, chunk):
-            pu = edge_u[start : start + chunk]
-            pv = edge_v[start : start + chunk]
-            union_rows = np.maximum(rows[pu], rows[pv])
-            union_estimates = batch_estimate(union_rows)
-            intersections = (
-                degree_estimates[pu] + degree_estimates[pv] - union_estimates
-            )
-            accept = intersections >= (1 - 1.5 * xi) * delta
-            accept &= ~(low_degree[pu] | low_degree[pv])
-            accept_all[start : start + pu.size] = accept
-        yes_u, yes_v = edge_u[accept_all], edge_v[accept_all]
+        # The union term runs on the packed bit-plane index: per-edge union
+        # order statistics from ANDed plane popcounts, so nothing of size
+        # (edges x trials) is ever materialized (see docs/ESTIMATORS.md).
+        union_estimates = planes.union_estimates(edge_u, edge_v)
+        intersections = (
+            degree_estimates[edge_u] + degree_estimates[edge_v] - union_estimates
+        )
+        accept = intersections >= (1 - 1.5 * xi) * delta
+        accept &= ~(low_degree[edge_u] | low_degree[edge_v])
+        yes_u, yes_v = edge_u[accept], edge_v[accept]
         yes_edges = {
             (int(u), int(v)) for u, v in zip(yes_u, yes_v)
         }

@@ -273,18 +273,33 @@ def neighborhood_max_rows(
 ) -> np.ndarray:
     """``out[v] = max over u in N(v) of rows[u]`` for every vertex at once.
 
-    The fingerprint workhorse (Lemma 5.8 / buddy predicate): a segmented
-    ``maximum.reduceat`` over the CSR layout replaces the ``np.maximum.at``
-    scatter (which loops per edge inside numpy) *and* avoids materializing
-    the full ``(2m, trials)`` gather -- neighbor rows are gathered in flat
-    chunks of at most ``flat_chunk`` entries, split on segment boundaries.
+    The fingerprint workhorse (Lemma 5.8 / buddy predicate).  Two
+    execution strategies, chosen by row width (both exact, so the choice is
+    invisible to callers -- max is associative and order-free):
 
-    Vertices with empty neighborhoods get ``empty_value`` rows.
+    * wide rows (``t >= 96``, the fingerprint regime): per-segment
+      ``gather.max(axis=0)`` -- each reduction runs numpy's SIMD maximum
+      over a contiguous ``(degree, t)`` block, ~5x faster than
+      ``maximum.reduceat``'s scalar inner loop at these widths;
+    * narrow rows: segmented ``maximum.reduceat`` over the CSR layout,
+      gathered in flat chunks of at most ``flat_chunk`` entries split on
+      segment boundaries, which amortizes per-segment call overhead when
+      thousands of segments fit one chunk.
+
+    Neither path materializes the full ``(2m, trials)`` gather.  Vertices
+    with empty neighborhoods get ``empty_value`` rows.
     """
     n = csr.n_vertices
     t = int(rows.shape[1])
     out = np.full((n, t), empty_value, dtype=rows.dtype)
     if csr.indices.size == 0 or t == 0:
+        return out
+    if t >= 96:
+        indptr, indices = csr.indptr, csr.indices
+        for v in range(n):
+            start, stop = indptr[v], indptr[v + 1]
+            if stop > start:
+                rows[indices[start:stop]].max(axis=0, out=out[v])
         return out
     row_budget = max(1, flat_chunk // max(1, t))
     lo = 0

@@ -37,6 +37,13 @@ from repro.sketch.counting import (
 )
 from repro.sketch.minwise import MinwiseHash, sample_minwise
 from repro.sketch.representative import RepresentativeFamily, RepresentativeSet
+from repro.sketch.streaming import (
+    StreamingUnionEstimator,
+    UnionPlanes,
+    estimates_from_counts,
+    fused_topk_counts,
+    threshold_index,
+)
 
 __all__ = [
     "DEFAULT_LAMBDA",
@@ -70,4 +77,9 @@ __all__ = [
     "sample_minwise",
     "RepresentativeFamily",
     "RepresentativeSet",
+    "StreamingUnionEstimator",
+    "UnionPlanes",
+    "estimates_from_counts",
+    "fused_topk_counts",
+    "threshold_index",
 ]

@@ -31,9 +31,11 @@ from repro.sketch.geometric import (
     sample_max_of_geometrics,
     sample_max_of_geometrics_batch,
 )
-
-_THRESHOLD_NUM = 27
-_THRESHOLD_DEN = 40
+from repro.sketch.streaming import (
+    estimates_from_counts,
+    fused_topk_counts,
+    threshold_index,
+)
 
 
 def estimate_cardinality(maxima: np.ndarray) -> float:
@@ -43,14 +45,19 @@ def estimate_cardinality(maxima: np.ndarray) -> float:
     a distributed implementation would: an all-``EMPTY_MAX`` fingerprint
     means the set was empty (return 0); at the boundary ``Z = t`` we clamp to
     ``t - 1/2`` (the lemma's regime guarantees ``Z_{K*} < t`` w.h.p., so the
-    clamp only fires outside its guarantee).
+    clamp only fires outside its guarantee).  ``K*`` is clamped to ``>= 1``
+    (reachable only when over ``27/40`` of the coordinates are ``EMPTY_MAX``
+    yet some are not -- impossible for real fingerprints, whose rows are
+    all-empty or all-valid), keeping every estimator variant total and
+    aligned on such synthetic input (docs/ESTIMATORS.md).
     """
     t = int(maxima.size)
     if t == 0:
         raise ValueError("empty fingerprint has no estimate")
     if np.all(maxima == EMPTY_MAX):
         return 0.0
-    threshold = (_THRESHOLD_NUM / _THRESHOLD_DEN) * t
+    # for integer counts, z >= (27/40) t  iff  z >= ceil((27/40) t) = q
+    threshold = threshold_index(t)
     sorted_maxima = np.sort(maxima)
     # Z_k counts maxima strictly below k; K* is the smallest k whose count
     # reaches the 27/40 threshold.  The candidate k values are (max value)+1.
@@ -66,37 +73,25 @@ def estimate_cardinality(maxima: np.ndarray) -> float:
         raise AssertionError("threshold never reached")
     z_eff = min(float(z_kstar), t - 0.5)
     z_eff = max(z_eff, 0.5)
+    k_star = max(k_star, 1)
     return math.log(z_eff / t) / math.log(1.0 - 2.0 ** (-k_star))
 
 
-def _batch_order_statistics(
-    maxima: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Shared integer core of the batched Lemma 5.2 estimators.
-
-    With ``q = ceil((27/40) t)``, the threshold ``K*`` equals the ``q``-th
-    order statistic plus one (``Z_k >= q  iff  k > Y_(q)``).  Returns
-    ``(k_star, z, empty_rows)`` with ``k_star`` clamped to ``>= 1`` and
-    ``z`` clipped to ``[0.5, t - 0.5]`` exactly as
-    :func:`estimate_cardinality` does -- these are integer/exact
-    quantities, so both batched variants agree with the scalar loop here.
-    """
+def _batched_estimates(maxima: np.ndarray, *, exact: bool) -> np.ndarray:
+    """Shared body of the batched Lemma 5.2 estimators: one fused
+    order-statistics pass (:func:`~repro.sketch.streaming.fused_topk_counts`)
+    followed by the requested final-math form
+    (:func:`~repro.sketch.streaming.estimates_from_counts`)."""
     if maxima.ndim != 2:
         raise ValueError("expected a (rows, trials) matrix")
     rows, t = maxima.shape
     if t == 0:
         raise ValueError("empty fingerprints have no estimate")
-    q = int(math.ceil((_THRESHOLD_NUM / _THRESHOLD_DEN) * t))
-    q = min(max(q, 1), t)
-    # stay in the input dtype: casting an (edges x trials) matrix to int64
-    # would multiply peak memory by 4 for nothing (values fit in int16)
     empty_rows = np.all(maxima == EMPTY_MAX, axis=1)
-    part = np.partition(maxima, q - 1, axis=1)
-    k_star = part[:, q - 1].astype(np.int64) + 1  # min k with Z_k >= (27/40) t
-    z = (maxima < k_star[:, None]).sum(axis=1).astype(np.float64)
-    z = np.clip(z, 0.5, t - 0.5)
-    k_star = np.maximum(k_star, 1)
-    return k_star, z, empty_rows
+    k_star, z = fused_topk_counts(maxima, threshold_index(t))
+    return estimates_from_counts(
+        k_star, z, t, exact=exact, empty_rows=empty_rows
+    )
 
 
 def batch_estimate(maxima: np.ndarray) -> np.ndarray:
@@ -108,35 +103,20 @@ def batch_estimate(maxima: np.ndarray) -> np.ndarray:
     :func:`batch_estimate_exact` when a per-vertex loop is being replaced
     and bitwise identity matters.
     """
-    rows, t = maxima.shape if maxima.ndim == 2 else (0, 0)
-    k_star, z, empty_rows = _batch_order_statistics(maxima)
-    estimates = np.log(z / t) / np.log1p(-np.exp2(-k_star.astype(np.float64)))
-    estimates[empty_rows] = 0.0
-    return estimates
+    return _batched_estimates(maxima, exact=False)
 
 
 def batch_estimate_exact(maxima: np.ndarray) -> np.ndarray:
     """Bitwise-exact batched Lemma 5.2 estimator.
 
     The order statistics (integer, exact) are vectorized; the two ``log``
-    calls per row go through :mod:`math` so every row reproduces
-    :func:`estimate_cardinality` to the last bit -- the contract the
-    decomposition's pinned-seed bitwise tests rely on.  ``O(rows)`` scalar
-    math on top of the vectorized core is noise next to the
-    ``O(rows * trials)`` partition.
+    calls go through :mod:`math` -- evaluated once per *distinct* ``(K*, Z)``
+    pair rather than once per row (``K*`` and ``Z`` are small integers, so
+    large batches share a handful of pairs) -- so every row reproduces
+    :func:`estimate_cardinality` to the last bit: the contract the
+    decomposition's pinned-seed bitwise tests rely on.
     """
-    rows, t = maxima.shape if maxima.ndim == 2 else (0, 0)
-    k_star, z, empty_rows = _batch_order_statistics(maxima)
-    estimates = np.fromiter(
-        (
-            math.log(zi / t) / math.log(1.0 - 2.0 ** (-int(ki)))
-            for zi, ki in zip(z, k_star)
-        ),
-        dtype=np.float64,
-        count=rows,
-    )
-    estimates[empty_rows] = 0.0
-    return estimates
+    return _batched_estimates(maxima, exact=True)
 
 
 def failure_probability_bound(xi: float, t: int) -> float:

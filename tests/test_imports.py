@@ -1,0 +1,48 @@
+"""Every ``repro.*`` package must import in isolation.
+
+Regression guard for the import cycle fixed alongside the streaming
+estimator work: ``import repro.decomposition`` as the *first* repro import
+used to die inside ``aggregation -> coloring -> decomposition`` (the
+coloring package eagerly pulled its pipeline, which circles back through
+the decomposition).  Each case below runs in a fresh interpreter so no
+previously imported sibling can mask a cycle.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+PACKAGES = sorted(
+    "repro." + p.parent.name
+    for p in (Path(SRC) / "repro").glob("*/__init__.py")
+) + ["repro"]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_imports_in_isolation(package):
+    """A fresh interpreter can import the package before any other."""
+    proc = subprocess.run(
+        [sys.executable, "-c", f"import {package}"],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, (
+        f"`import {package}` failed in isolation:\n{proc.stderr}"
+    )
+
+
+def test_lazy_coloring_exports_resolve():
+    """The coloring package's lazily exported engine symbols resolve (and
+    dir() advertises them) once the package is imported."""
+    import repro.coloring as coloring
+
+    for name in coloring._LAZY_EXPORTS:
+        assert name in dir(coloring)
+        assert callable(getattr(coloring, name))

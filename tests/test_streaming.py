@@ -1,0 +1,227 @@
+"""The fused streaming estimator's contract (docs/ESTIMATORS.md).
+
+Three layers of guarantees, each pinned here:
+
+* **integer layer** -- ``(K*, Z)`` from the fused top-k, the bit-plane
+  union probe, and any block-partitioned accumulation order are *exactly*
+  the integers the naive sort-based definition produces;
+* **estimate layer** -- within one final-math form the streaming/fused
+  paths are bitwise-identical to the batched estimators
+  (``batch_estimate`` for the ``log1p`` form, ``batch_estimate_exact`` ==
+  per-row ``estimate_cardinality`` for the exact form);
+* **cross-form tolerance** -- the two forms differ by at most the
+  documented one-ulp slip, never enough to move a well-separated
+  threshold comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import (
+    EMPTY_MAX,
+    StreamingUnionEstimator,
+    UnionPlanes,
+    batch_estimate,
+    batch_estimate_exact,
+    estimate_cardinality,
+    estimates_from_counts,
+    fused_topk_counts,
+    threshold_index,
+)
+
+
+def reference_topk(maxima: np.ndarray, q: int):
+    """(K*, Z) straight from the Lemma 5.2 definition via a full sort."""
+    srt = np.sort(maxima, axis=1)
+    k_star = srt[:, q - 1].astype(np.int64) + 1
+    z = (maxima < k_star[:, None]).sum(axis=1).astype(np.int64)
+    return k_star, z
+
+
+@st.composite
+def maxima_matrices(draw):
+    """Small fingerprint-like matrices: geometric-flavored values with
+    occasional EMPTY_MAX rows and heavy ties."""
+    rows = draw(st.integers(1, 12))
+    trials = draw(st.integers(1, 40))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    mat = (rng.geometric(0.5, size=(rows, trials)) - 1).astype(np.int16)
+    for r in range(rows):
+        if rng.random() < 0.2:
+            mat[r] = EMPTY_MAX
+        elif rng.random() < 0.3:
+            mat[r, rng.random(trials) < 0.3] = EMPTY_MAX
+    return mat
+
+
+class TestFusedTopK:
+    @given(maxima_matrices())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_sort_definition(self, mat):
+        q = threshold_index(mat.shape[1])
+        k_fused, z_fused = fused_topk_counts(mat, q)
+        k_ref, z_ref = reference_topk(mat, q)
+        assert np.array_equal(k_fused, k_ref)
+        assert np.array_equal(z_fused, z_ref)
+
+    @given(maxima_matrices())
+    @settings(max_examples=100, deadline=None)
+    def test_estimates_bitwise_vs_batched(self, mat):
+        """Both final-math forms reproduce their batched counterpart
+        bit-for-bit from the fused integers."""
+        t = mat.shape[1]
+        k, z = fused_topk_counts(mat, threshold_index(t))
+        empty = np.all(mat == EMPTY_MAX, axis=1)
+        log1p_form = estimates_from_counts(k, z, t, empty_rows=empty)
+        exact_form = estimates_from_counts(k, z, t, exact=True, empty_rows=empty)
+        assert np.array_equal(log1p_form, batch_estimate(mat))
+        assert np.array_equal(exact_form, batch_estimate_exact(mat))
+        scalar = np.array([estimate_cardinality(r) for r in mat])
+        assert np.array_equal(exact_form, scalar)
+
+    @given(maxima_matrices())
+    @settings(max_examples=100, deadline=None)
+    def test_cross_form_tolerance_contract(self, mat):
+        """The documented divergence between the two forms: at most a few
+        ulp of relative slip, nothing more (docs/ESTIMATORS.md)."""
+        exact = batch_estimate_exact(mat)
+        vectorized = batch_estimate(mat)
+        np.testing.assert_allclose(vectorized, exact, rtol=1e-12, atol=0.0)
+
+
+class TestStreamingAccumulation:
+    @given(maxima_matrices(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_random_block_partition_bitwise(self, mat, seed):
+        """Absorbing any random partition of the element stream -- including
+        repeated row ids within a block -- lands on the same estimates as
+        one batched pass over the materialized maxima."""
+        rng = np.random.default_rng(seed)
+        rows, t = mat.shape
+        # element stream: (row, fingerprint) pairs in shuffled order,
+        # one pair per "set element"; the final state is the row-wise max
+        n_elems = int(rng.integers(0, 4 * rows + 1))
+        ids = rng.integers(0, rows, n_elems).astype(np.int64)
+        values = (rng.geometric(0.5, size=(n_elems, t)) - 1).astype(np.int16)
+        reference = np.full((rows, t), EMPTY_MAX, dtype=np.int16)
+        np.maximum.at(reference, ids, values)
+
+        est = StreamingUnionEstimator(rows, t, dtype=np.int16)
+        cursor = 0
+        while cursor < n_elems:
+            block = int(rng.integers(1, n_elems - cursor + 1))
+            est.absorb(ids[cursor : cursor + block], values[cursor : cursor + block])
+            cursor += block
+        assert np.array_equal(est.state, reference)
+        assert np.array_equal(est.estimates(), batch_estimate(reference))
+        assert np.array_equal(
+            est.estimates(exact=True), batch_estimate_exact(reference)
+        )
+
+    @given(maxima_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_single_block_equals_batched(self, mat):
+        """The degenerate single-block stream is exactly the batched path."""
+        rows, t = mat.shape
+        est = StreamingUnionEstimator(rows, t, dtype=mat.dtype)
+        est.absorb_block(0, mat)
+        assert np.array_equal(est.state, mat)
+        assert np.array_equal(est.estimates(), batch_estimate(mat))
+
+
+class TestUnionPlanes:
+    @given(maxima_matrices(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_union_estimates_bitwise_vs_materialized(self, mat, seed):
+        """Bit-plane union queries == batch_estimate over the materialized
+        (pairs, trials) union matrix, to the last bit, for both forms."""
+        rng = np.random.default_rng(seed)
+        rows = mat.shape[0]
+        m = int(rng.integers(1, 30))
+        left = rng.integers(0, rows, m).astype(np.int64)
+        right = rng.integers(0, rows, m).astype(np.int64)
+        union = np.maximum(mat[left], mat[right])
+
+        planes = UnionPlanes(mat)
+        got = planes.union_estimates(left, right)
+        assert np.array_equal(got, batch_estimate(union))
+        got_exact = planes.union_estimates(left, right, exact=True)
+        assert np.array_equal(got_exact, batch_estimate_exact(union))
+
+    @given(maxima_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_row_estimates_bitwise(self, mat):
+        planes = UnionPlanes(mat)
+        assert np.array_equal(planes.row_estimates(), batch_estimate(mat))
+        assert np.array_equal(
+            planes.row_estimates(exact=True), batch_estimate_exact(mat)
+        )
+
+    def test_chunking_invariant(self):
+        rng = np.random.default_rng(3)
+        mat = (rng.geometric(0.5, size=(40, 64)) - 1).astype(np.int16)
+        left = rng.integers(0, 40, 500)
+        right = rng.integers(0, 40, 500)
+        planes = UnionPlanes(mat)
+        whole = planes.union_estimates(left, right)
+        tiny = planes.union_estimates(left, right, chunk_rows=7)
+        assert np.array_equal(whole, tiny)
+
+    def test_empty_pair_array(self):
+        mat = np.full((3, 8), EMPTY_MAX, dtype=np.int16)
+        planes = UnionPlanes(mat)
+        out = planes.union_estimates(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert out.size == 0
+
+    def test_all_empty_rows_estimate_zero(self):
+        mat = np.full((4, 16), EMPTY_MAX, dtype=np.int16)
+        planes = UnionPlanes(mat)
+        out = planes.union_estimates(np.array([0, 1]), np.array([2, 3]))
+        assert np.array_equal(out, np.zeros(2))
+
+
+class TestPinnedBuddyDigest:
+    """The buddy predicate on a dense cell, pinned bit-for-bit.
+
+    The digest was captured from the pre-fusion implementation (per-chunk
+    ``np.maximum`` union matrices + ``batch_estimate``); the bit-plane
+    rewire must reproduce the YES edges, the degree estimates, the shared
+    fingerprint rows, and the post-call RNG position exactly.
+    """
+
+    PINNED = "186268d810ecc765dc7f92e7d39be81b"
+
+    def test_dense_cell_digest(self):
+        from repro.decomposition import buddy_predicate
+        from repro.workloads import high_degree_instance
+        from tests.conftest import make_runtime
+
+        w = high_degree_instance(
+            np.random.default_rng(42),
+            n_vertices=500,
+            degree_fraction=0.85,
+            cluster_size=1,
+        )
+        runtime = make_runtime(w.graph, seed=7)
+        result = buddy_predicate(runtime, xi=0.25)
+        yes_u, yes_v = result.yes_edge_arrays()
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(yes_u).tobytes())
+        digest.update(np.ascontiguousarray(yes_v).tobytes())
+        digest.update(np.ascontiguousarray(result.degree_estimates).tobytes())
+        digest.update(
+            np.ascontiguousarray(result.neighborhood_rows, dtype=np.int64).tobytes()
+        )
+        digest.update(np.int64(result.trials).tobytes())
+        digest.update(np.float64(runtime.rng.random()).tobytes())
+        assert digest.hexdigest()[:32] == self.PINNED
+        assert len(result.yes_edges) > 0  # the pin covers a non-trivial cell

@@ -3,10 +3,13 @@
 
 The architecture contract (docs/ARCHITECTURE.md) promises that every
 public symbol of ``repro.graphcore`` (the batched kernels every hot path
-runs on) and ``repro.dynamic`` (the streaming engine API) documents its
-arguments, shapes, and invariants.  This lint enforces the *presence* half
-of that promise statically: every public module, class, function, and
-method in those packages must carry a docstring.
+runs on), ``repro.dynamic`` (the streaming engine API), ``repro.sketch``
+(the fingerprint estimators and their documented contract,
+docs/ESTIMATORS.md), and ``repro.decomposition`` (the ACD pipeline those
+estimators drive) documents its arguments, shapes, and invariants.  This
+lint enforces the *presence* half of that promise statically: every public
+module, class, function, and method in those packages must carry a
+docstring.
 
 Run from the repo root (CI's docs job does):
 
@@ -22,7 +25,12 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_TARGETS = ("src/repro/graphcore", "src/repro/dynamic")
+DEFAULT_TARGETS = (
+    "src/repro/graphcore",
+    "src/repro/dynamic",
+    "src/repro/sketch",
+    "src/repro/decomposition",
+)
 
 FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
 
