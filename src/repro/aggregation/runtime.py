@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.network.ledger import BandwidthLedger
+from repro.observe.tracer import NULL_TRACER
 from repro.params import AlgorithmParameters, log2ceil
 
 
@@ -40,12 +41,18 @@ class ClusterRuntime:
         The single source of randomness for the execution.
     ledger:
         Optional pre-built ledger (a fresh one is created otherwise).
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer`; defaults to the
+        no-op :data:`~repro.observe.tracer.NULL_TRACER`.  The runtime binds
+        its ledger to the tracer so spans attribute this execution's
+        charges.  Tracing is bitwise-invisible: it reads snapshots only.
     """
 
     graph: object
     params: AlgorithmParameters
     rng: np.random.Generator
     ledger: BandwidthLedger | None = None
+    tracer: object = None
 
     def __post_init__(self) -> None:
         n = self.graph.n_machines
@@ -55,6 +62,10 @@ class ClusterRuntime:
                 bandwidth_bits=self.params.bandwidth_bits(n),
                 dilation=max(1, self.graph.dilation) * max(1, congestion),
             )
+        if self.tracer is None:
+            self.tracer = NULL_TRACER
+        else:
+            self.tracer.bind_ledger(self.ledger)
 
     # ---- convenience sizes ---------------------------------------------------
 

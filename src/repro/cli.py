@@ -15,11 +15,21 @@ Commands
     Drive a churn workload through the streaming update engine
     (optionally racing the recolor-from-scratch baseline).
 ``sweep``
-    Run a named scenario suite in parallel, write a JSONL artifact.
+    Run a named scenario suite in parallel, write a JSONL artifact
+    (``--trace`` attaches span trees to traceable cells).
 ``report``
     Summarize a sweep artifact (mean/p50/p95 per cell group, CSV export).
 ``compare``
     Gate one sweep artifact against a baseline; exit 1 on regression.
+``trace``
+    Run one workload under an enabled tracer and print the per-stage
+    wall/rounds/bits table, slowest first.
+``history``
+    Append sweep artifacts to the per-commit history store and print the
+    wall-time trend report (report-only; never gates).
+``cells``
+    Per-cell wall-time table of sweep artifacts (the in-CLI spelling of
+    ``tools/print_cell_times.py``).
 """
 
 from __future__ import annotations
@@ -224,6 +234,7 @@ def _cmd_sweep(args) -> int:
         timeout_s=args.timeout,
         out_path=args.out,
         progress=progress,
+        trace=args.trace,
     )
     print(format_table(summarize(read_artifact(path))))
     failed = [r for r in records if r["status"] != "ok"]
@@ -234,6 +245,120 @@ def _cmd_sweep(args) -> int:
         print(f"  {record['status']}: {record['cell']['workload']} -- "
               f"{error_summary(record['error'])}")
     return 1 if failed else 0
+
+
+def _cmd_trace(args) -> int:
+    """Run one workload under an enabled tracer; print the stage table."""
+    from repro.observe import Tracer, aggregate_stage_rows, stage_rows
+
+    maker = GENERATORS[args.workload]
+    w = maker(np.random.default_rng(args.instance_seed))
+    params = paper() if args.params == "paper" else scaled()
+    tracer = Tracer()
+    if args.workload in STREAMS:
+        from repro.dynamic import run_stream
+
+        _engine, _result, metrics = run_stream(
+            w, params=params, seed=args.seed, mode=args.mode, tracer=tracer
+        )
+        proper = bool(metrics["proper"])
+        ledger_rounds = metrics["rounds_h"]
+        ledger_bits = metrics["total_message_bits"]
+        # the bootstrap runs on its own runtime ledger (wall time only), so
+        # the span-sum invariant covers the batch spans alone
+        charged = lambda r: r["stage"] != "stream.bootstrap"  # noqa: E731
+    else:
+        result = color_cluster_graph(
+            w.graph, params=params, seed=args.seed, regime=args.regime,
+            tracer=tracer,
+        )
+        proper = bool(result.proper)
+        ledger_rounds = result.rounds_h
+        ledger_bits = result.ledger_summary["total_message_bits"]
+        charged = lambda r: True  # noqa: E731
+    if args.json:
+        print(json.dumps(tracer.to_dict(), indent=2))
+        return 0 if proper else 1
+    rows = aggregate_stage_rows(stage_rows(tracer))
+    rows.sort(key=lambda r: r["wall_s"], reverse=True)
+    print(f"workload: {w.name}  ({w.notes})")
+    print(
+        f"machines={w.graph.n_machines} vertices={w.graph.n_vertices} "
+        f"Delta={w.graph.max_degree} proper={proper}"
+    )
+    print(format_table(
+        [
+            {
+                "stage": r["stage"],
+                "spans": r["spans"],
+                "wall_s": f"{r['wall_s']:.4f}",
+                "rounds_h": r["rounds_h"],
+                "rounds_g": r["rounds_g"],
+                "bits": r["bits"],
+                "max_bits": r["max_bits"],
+            }
+            for r in rows
+        ]
+    ))
+    sum_rounds = sum(r["rounds_h"] for r in rows if charged(r))
+    sum_bits = sum(r["bits"] for r in rows if charged(r))
+    matches = sum_rounds == ledger_rounds and sum_bits == ledger_bits
+    print(
+        f"stage sums: rounds_h={sum_rounds} bits={sum_bits}  "
+        f"ledger totals: rounds_h={ledger_rounds} bits={ledger_bits}  "
+        f"({'match' if matches else 'MISMATCH'})"
+    )
+    return 0 if proper and matches else 1
+
+
+def _cmd_history(args) -> int:
+    """Append artifacts to the history store and print the trend report."""
+    from repro.observe import (
+        append_entry,
+        entry_from_artifact,
+        list_suites,
+        load_history,
+        render_history,
+    )
+
+    suites = []
+    for name in args.append:
+        artifact = _read_artifact_or_exit(name)
+        entry = entry_from_artifact(artifact)
+        path = append_entry(entry, args.dir)
+        print(
+            f"appended {artifact.suite} @ {entry['commit']} "
+            f"({entry['total_wall_time_s']}s) -> {path}"
+        )
+        if artifact.suite not in suites:
+            suites.append(artifact.suite)
+    if args.suite:
+        suites = [args.suite]
+    elif not suites:
+        suites = list_suites(args.dir)
+        if not suites:
+            print("history store is empty (append with --append ARTIFACT)")
+            return 0
+    for suite in suites:
+        try:
+            entries = load_history(suite, args.dir)
+        except ValueError as exc:
+            raise SystemExit(f"repro: corrupt history for {suite!r}: {exc}")
+        print(render_history(
+            entries,
+            last_n=args.last,
+            threshold=args.threshold,
+            min_seconds=args.min_seconds,
+        ))
+    # report-only by contract: soft regressions never flip the exit code
+    return 0
+
+
+def _cmd_cells(args) -> int:
+    """Per-cell wall-time tables (folded tools/print_cell_times.py)."""
+    from repro.observe import cells
+
+    return cells.main(args.artifacts)
 
 
 def _read_artifact_or_exit(path: str):
@@ -377,6 +502,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact path (default: benchmarks/results/sweep-<suite>-<ts>.jsonl)",
     )
     p_sweep.add_argument("--quiet", action="store_true", help="no progress stream")
+    p_sweep.add_argument(
+        "--trace", action="store_true",
+        help="attach span trees to traceable cells (bitwise-invisible)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_report = sub.add_parser("report", help="summarize a sweep artifact")
@@ -399,6 +528,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="override a relative tolerance (repeatable), e.g. rounds_h=0.1",
     )
     p_compare.set_defaults(func=_cmd_compare)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one workload under a tracer, print the stage table"
+    )
+    p_trace.add_argument("workload", choices=sorted(GENERATORS))
+    p_trace.add_argument("--instance-seed", type=int, default=0)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument(
+        "--regime", choices=["auto", "high_degree", "polylog", "low_degree"],
+        default="auto", help="static pipeline regime (ignored for streams)",
+    )
+    p_trace.add_argument(
+        "--mode", choices=["repair", "scratch"], default="repair",
+        help="stream engine mode (ignored for static workloads)",
+    )
+    p_trace.add_argument("--params", choices=["scaled", "paper"], default="scaled")
+    p_trace.add_argument(
+        "--json", action="store_true", help="dump the full span tree as JSON"
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_history = sub.add_parser(
+        "history", help="per-commit perf history: append + trend report"
+    )
+    p_history.add_argument(
+        "suite", nargs="?", default=None,
+        help="suite to report on (default: every suite touched or stored)",
+    )
+    p_history.add_argument(
+        "--append", action="append", default=[], metavar="ARTIFACT",
+        help="append a sweep artifact to the store first (repeatable)",
+    )
+    p_history.add_argument(
+        "--dir", default=None,
+        help="history store directory (default: benchmarks/history)",
+    )
+    p_history.add_argument(
+        "--last", type=int, default=10, help="entries per trend window"
+    )
+    p_history.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative soft-regression threshold (fraction over baseline median)",
+    )
+    p_history.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="absolute slowdown floor before flagging",
+    )
+    p_history.set_defaults(func=_cmd_history)
+
+    p_cells = sub.add_parser(
+        "cells", help="per-cell wall-time table of sweep artifacts"
+    )
+    p_cells.add_argument("artifacts", nargs="+")
+    p_cells.set_defaults(func=_cmd_cells)
     return parser
 
 

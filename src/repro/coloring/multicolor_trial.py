@@ -70,78 +70,84 @@ def multicolor_trial(
     graph = runtime.graph
     remaining = [v for v in vertices if not coloring.is_colored(v)]
 
-    for x in _trial_schedule(gamma, n, max_iters):
+    for trial_round, x in enumerate(_trial_schedule(gamma, n, max_iters)):
         if not remaining:
             break
-        trial_sets: dict[int, list[int]] = {}
-        tried_by: dict[int, list[int]] = {}
-        for v in remaining:
-            space = color_space(v)
-            if not space:
-                continue
-            rep = family.sample(runtime.rng).materialize(list(space))
-            trial = rep[: min(x, len(rep))]
-            trial_sets[v] = trial
-            for c in trial:
-                tried_by.setdefault(c, []).append(v)
-        # Announce: (set index, x) per vertex -- O(log n) bits.
-        runtime.h_rounds(op, count=2, bits=2 * runtime.id_bits)
+        # Each pass gets its own (neutral) tracer span: active frontier in,
+        # colored count out, ledger rounds/bits attributed to the pass.
+        with runtime.tracer.span(op + ".pass", round=trial_round, trial_size=x) as span:
+            span.counter("active", len(remaining))
+            trial_sets: dict[int, list[int]] = {}
+            tried_by: dict[int, list[int]] = {}
+            for v in remaining:
+                space = color_space(v)
+                if not space:
+                    continue
+                rep = family.sample(runtime.rng).materialize(list(space))
+                trial = rep[: min(x, len(rep))]
+                trial_sets[v] = trial
+                for c in trial:
+                    tried_by.setdefault(c, []).append(v)
+            # Announce: (set index, x) per vertex -- O(log n) bits.
+            runtime.h_rounds(op, count=2, bits=2 * runtime.id_bits)
 
-        # Pass 1 (Algorithm 16's rule): adopt a trial color no active
-        # neighbor even *tried*.  Used-color lookups come from one batched
-        # CSR gather over every active vertex; the contention scan stays
-        # per-vertex (expected O(1) contenders per color).
-        newly: list[tuple[int, int]] = []
-        blocked_vertices: list[int] = []
-        active = list(trial_sets)
-        used_masks = batch_used_color_masks(
-            csr_of(graph), coloring.colors, active, coloring.num_colors
-        )
-        for row, (v, trial) in zip(used_masks, trial_sets.items()):
-            choice = None
-            for c in trial:
-                if row[c]:
-                    continue
-                blocked = False
-                for u in tried_by.get(c, ()):  # expected O(1) contenders
-                    if u != v and graph.are_adjacent(u, v):
-                        blocked = True
+            # Pass 1 (Algorithm 16's rule): adopt a trial color no active
+            # neighbor even *tried*.  Used-color lookups come from one batched
+            # CSR gather over every active vertex; the contention scan stays
+            # per-vertex (expected O(1) contenders per color).
+            newly: list[tuple[int, int]] = []
+            blocked_vertices: list[int] = []
+            active = list(trial_sets)
+            used_masks = batch_used_color_masks(
+                csr_of(graph), coloring.colors, active, coloring.num_colors
+            )
+            for row, (v, trial) in zip(used_masks, trial_sets.items()):
+                choice = None
+                for c in trial:
+                    if row[c]:
+                        continue
+                    blocked = False
+                    for u in tried_by.get(c, ()):  # expected O(1) contenders
+                        if u != v and graph.are_adjacent(u, v):
+                            blocked = True
+                            break
+                    if not blocked:
+                        choice = c
                         break
-                if not blocked:
-                    choice = c
-                    break
-            if choice is not None:
-                newly.append((v, choice))
-            else:
-                blocked_vertices.append(v)
-        for v, c in newly:
-            coloring.assign(v, c)
-        # Pass 2 (smaller-ID priority, Algorithm 17-style): when trial sets
-        # saturate the palette the symmetric rule deadlocks; letting the
-        # smallest contender win costs one more round and only adds
-        # progress, preserving Lemma D.1's guarantee.
-        chosen_now: dict[int, list[int]] = {}
-        contenders = sorted(blocked_vertices)
-        # snapshot used-colors once (post pass-1): colors taken *during*
-        # pass 2 are exactly the chosen_now entries, checked by adjacency.
-        pass2_masks = batch_used_color_masks(
-            csr_of(graph), coloring.colors, contenders, coloring.num_colors
-        )
-        for row, v in zip(pass2_masks, contenders):
-            if coloring.is_colored(v):
-                continue
-            for c in trial_sets[v]:
-                if row[c]:
-                    continue
-                if any(
-                    graph.are_adjacent(u, v) for u in chosen_now.get(c, ())
-                ):
-                    continue
+                if choice is not None:
+                    newly.append((v, choice))
+                else:
+                    blocked_vertices.append(v)
+            for v, c in newly:
                 coloring.assign(v, c)
-                chosen_now.setdefault(c, []).append(v)
-                break
-        runtime.h_rounds(op + "_priority", count=1, bits=runtime.color_bits)
-        remaining = [v for v in remaining if not coloring.is_colored(v)]
+            # Pass 2 (smaller-ID priority, Algorithm 17-style): when trial sets
+            # saturate the palette the symmetric rule deadlocks; letting the
+            # smallest contender win costs one more round and only adds
+            # progress, preserving Lemma D.1's guarantee.
+            chosen_now: dict[int, list[int]] = {}
+            contenders = sorted(blocked_vertices)
+            # snapshot used-colors once (post pass-1): colors taken *during*
+            # pass 2 are exactly the chosen_now entries, checked by adjacency.
+            pass2_masks = batch_used_color_masks(
+                csr_of(graph), coloring.colors, contenders, coloring.num_colors
+            )
+            for row, v in zip(pass2_masks, contenders):
+                if coloring.is_colored(v):
+                    continue
+                for c in trial_sets[v]:
+                    if row[c]:
+                        continue
+                    if any(
+                        graph.are_adjacent(u, v) for u in chosen_now.get(c, ())
+                    ):
+                        continue
+                    coloring.assign(v, c)
+                    chosen_now.setdefault(c, []).append(v)
+                    break
+            runtime.h_rounds(op + "_priority", count=1, bits=runtime.color_bits)
+            still = [v for v in remaining if not coloring.is_colored(v)]
+            span.counter("colored", len(remaining) - len(still))
+            remaining = still
 
     if remaining and raise_on_leftover:
         raise StageFailure(

@@ -99,6 +99,7 @@ def color_cluster_graph(
     rng: np.random.Generator | None = None,
     regime: str = "auto",
     verify: bool = True,
+    tracer=None,
 ) -> ColoringResult:
     """(Δ+1)-color a cluster (or virtual) graph.
 
@@ -116,12 +117,20 @@ def color_cluster_graph(
         ``"low_degree"``.
     verify:
         Check properness before returning (ground-truth validation).
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer`.  Each pipeline
+        stage runs inside a top-level span (named exactly like its
+        ``stats.stage_rounds`` key), so the spans partition the run: their
+        wall/round/bit sums reproduce the ledger totals.  Tracing never
+        touches the RNG or the ledger -- traced runs are bitwise-identical
+        to untraced ones.
 
     Returns a :class:`~repro.coloring.stats.ColoringResult`.
     """
     params = params or scaled()
     rng = rng if rng is not None else np.random.default_rng(seed)
-    runtime = ClusterRuntime(graph=graph, params=params, rng=rng)
+    runtime = ClusterRuntime(graph=graph, params=params, rng=rng, tracer=tracer)
+    tracer = runtime.tracer
     ledger = runtime.ledger
     stats = ColoringStats()
     num_colors = graph.max_degree + 1
@@ -141,23 +150,36 @@ def color_cluster_graph(
         from repro.coloring.polylog import color_polylog
 
         before = ledger.snapshot()
-        color_polylog(runtime, coloring, stats)
+        with tracer.span("polylog"):
+            color_polylog(runtime, coloring, stats)
         stats.record_stage("polylog", before, ledger)
     elif regime == "low_degree":
         before = ledger.snapshot()
-        shatter_info = color_low_degree(runtime, coloring)
+        with tracer.span("low_degree") as span:
+            shatter_info = color_low_degree(runtime, coloring)
+            span.counter(
+                "post_shattering_uncolored",
+                shatter_info["post_shattering_uncolored"],
+            )
+            span.counter("components", shatter_info["num_components"])
+            if shatter_info["stuck"]:
+                fallback_color(
+                    runtime, coloring, shatter_info["stuck"], stats, "low_degree"
+                )
         stats.record_stage("low_degree", before, ledger)
         stats.notes.append(
             f"shattering left {shatter_info['post_shattering_uncolored']} vertices "
             f"in {shatter_info['num_components']} components "
             f"(max {shatter_info['max_component']})"
         )
-        if shatter_info["stuck"]:
-            fallback_color(runtime, coloring, shatter_info["stuck"], stats, "low_degree")
     else:
         # ---- Algorithm 3 ----------------------------------------------------
         before = ledger.snapshot()
-        acd = annotate_with_cabals(runtime, compute_acd(runtime))
+        with tracer.span("acd") as span:
+            acd = annotate_with_cabals(runtime, compute_acd(runtime))
+            span.counter("cliques", acd.num_cliques)
+            span.counter("sparse_vertices", len(acd.sparse))
+            span.counter("repaired_components", acd.repaired_components)
         stats.record_stage("acd", before, ledger)
         if acd.repaired_components:
             stats.notes.append(f"ACD repaired {acd.repaired_components} components")
@@ -168,32 +190,40 @@ def color_cluster_graph(
             for v in range(graph.n_vertices)
             if not acd.is_cabal_vertex(v)
         ]
-        slack_generation(runtime, coloring, non_cabal_vertices)
+        with tracer.span("slack_generation") as span:
+            span.counter("vertices", len(non_cabal_vertices))
+            slack_generation(runtime, coloring, non_cabal_vertices)
         stats.record_stage("slack_generation", before, ledger)
 
         before = ledger.snapshot()
-        _color_sparse(runtime, coloring, acd.sparse, stats)
+        with tracer.span("sparse") as span:
+            span.counter("vertices", len(acd.sparse))
+            _color_sparse(runtime, coloring, acd.sparse, stats)
         stats.record_stage("sparse", before, ledger)
 
         before = ledger.snapshot()
-        try:
-            color_noncabals(runtime, coloring, acd)
-        except StageFailure as failure:
-            fallback_color(runtime, coloring, failure.affected, stats, "noncabals")
+        with tracer.span("noncabals"):
+            try:
+                color_noncabals(runtime, coloring, acd)
+            except StageFailure as failure:
+                fallback_color(runtime, coloring, failure.affected, stats, "noncabals")
         stats.record_stage("noncabals", before, ledger)
 
         before = ledger.snapshot()
-        try:
-            color_cabals(runtime, coloring, acd, stats=stats)
-        except StageFailure as failure:
-            fallback_color(runtime, coloring, failure.affected, stats, "cabals")
+        with tracer.span("cabals"):
+            try:
+                color_cabals(runtime, coloring, acd, stats=stats)
+            except StageFailure as failure:
+                fallback_color(runtime, coloring, failure.affected, stats, "cabals")
         stats.record_stage("cabals", before, ledger)
 
     # ---- safety net: nothing may remain uncolored -----------------------------
     leftover = coloring.uncolored_vertices()
     if leftover:
         before = ledger.snapshot()
-        fallback_color(runtime, coloring, leftover, stats, "pipeline")
+        with tracer.span("pipeline_fallback") as span:
+            span.counter("vertices", len(leftover))
+            fallback_color(runtime, coloring, leftover, stats, "pipeline")
         stats.record_stage("pipeline_fallback", before, ledger)
 
     proper = is_proper(graph, coloring.colors) if verify else True

@@ -123,54 +123,64 @@ def compute_acd(
     delta = graph.max_degree
     xi = max(eps, params.acd_detection_xi)
 
-    buddy = buddy_predicate(runtime, xi, op=op + "_buddy")
+    tracer = runtime.tracer
+    with tracer.span(op + ".buddy") as span:
+        buddy = buddy_predicate(runtime, xi, op=op + "_buddy")
+        yes_u, yes_v = buddy.yes_edge_arrays()
+        span.counter("yes_edges", int(yes_u.size))
 
     # Step 2: estimate per-vertex buddy-edge counts (Lemma 5.7, predicate
     # "incident edge is a buddy edge").  One batched fingerprint draw +
     # estimate over all vertices; the RNG stream matches the per-vertex
     # loop this replaces bitwise.
-    yes_u, yes_v = buddy.yes_edge_arrays()
-    buddy_count = np.bincount(yes_u, minlength=n_v) + np.bincount(
-        yes_v, minlength=n_v
-    )
-    trials = params.fingerprint_trials(runtime.n, max(xi, 1e-3))
-    estimates = batch_count_estimates(runtime.rng, buddy_count, trials)
-    runtime.wide_message(op + "_count", 2 * trials + 16)
-    dense_mask = estimates >= (1 - 3 * xi) * delta
+    with tracer.span(op + ".count") as span:
+        buddy_count = np.bincount(yes_u, minlength=n_v) + np.bincount(
+            yes_v, minlength=n_v
+        )
+        trials = params.fingerprint_trials(runtime.n, max(xi, 1e-3))
+        estimates = batch_count_estimates(runtime.rng, buddy_count, trials)
+        runtime.wide_message(op + "_count", 2 * trials + 16)
+        dense_mask = estimates >= (1 - 3 * xi) * delta
+        span.counter("rows", n_v)
+        span.counter("dense_candidates", int(dense_mask.sum()))
 
     # Step 3: components of the buddy graph restricted to dense candidates.
     # Min-id label propagation (diameter-2 components, so O(1) sweeps);
     # grouping by label in id order reproduces the per-vertex BFS's
     # component enumeration exactly.
-    comp_labels = label_components(yes_u, yes_v, n_v, dense_mask)
-    components: list[list[int]] = []
-    if dense_mask.any():
-        dense = np.flatnonzero(dense_mask)
-        order = np.argsort(comp_labels[dense], kind="stable")
-        grouped = dense[order]
-        boundaries = np.flatnonzero(
-            np.diff(comp_labels[grouped], prepend=-2)
-        )
-        components = [
-            part.tolist() for part in np.split(grouped, boundaries[1:])
-        ]
-    if components:
-        # Leader election + id dissemination: O(1)-round BFS on the
-        # vertex-disjoint components (Lemma 3.2).
-        bfs_forest(
-            runtime,
-            [(comp[0], comp) for comp in components],
-            op=op + "_leaders",
-        )
+    with tracer.span(op + ".components") as span:
+        comp_labels = label_components(yes_u, yes_v, n_v, dense_mask)
+        components: list[list[int]] = []
+        if dense_mask.any():
+            dense = np.flatnonzero(dense_mask)
+            order = np.argsort(comp_labels[dense], kind="stable")
+            grouped = dense[order]
+            boundaries = np.flatnonzero(
+                np.diff(comp_labels[grouped], prepend=-2)
+            )
+            components = [
+                part.tolist() for part in np.split(grouped, boundaries[1:])
+            ]
+        if components:
+            # Leader election + id dissemination: O(1)-round BFS on the
+            # vertex-disjoint components (Lemma 3.2).
+            bfs_forest(
+                runtime,
+                [(comp[0], comp) for comp in components],
+                op=op + "_leaders",
+            )
+        span.counter("components", len(components))
 
     # Step 4: repair.
-    kept: list[list[int]] = []
-    repaired = 0
-    for comp in components:
-        if is_valid_almost_clique(graph, comp, eps):
-            kept.append(comp)
-        else:
-            repaired += 1
+    with tracer.span(op + ".repair") as span:
+        kept: list[list[int]] = []
+        repaired = 0
+        for comp in components:
+            if is_valid_almost_clique(graph, comp, eps):
+                kept.append(comp)
+            else:
+                repaired += 1
+        span.counter("repaired", repaired)
     clique_of = np.full(n_v, -1, dtype=np.int64)
     for idx, comp in enumerate(kept):
         clique_of[comp] = idx

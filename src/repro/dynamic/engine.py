@@ -41,6 +41,7 @@ from repro.dynamic.delta import DeltaCSR
 from repro.dynamic.updates import Update, UpdateBatch
 from repro.dynamic.view import FrozenConflictGraph
 from repro.network.ledger import BandwidthLedger
+from repro.observe.tracer import NULL_TRACER
 from repro.params import AlgorithmParameters, log2ceil, scaled
 
 
@@ -148,6 +149,12 @@ class DynamicColoring:
     verify_each_batch:
         Run the vectorized properness checker after every batch and raise
         :class:`RepairError` on a miss (ground truth, not charged).
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer`; the engine binds
+        its stream ledger to it and wraps the bootstrap coloring plus every
+        :meth:`apply` call in a span (``stream.bootstrap``,
+        ``stream.batch[batch=i]``).  Tracing reads snapshots only -- traced
+        streams are bitwise-identical to untraced ones.
     """
 
     def __init__(
@@ -162,6 +169,7 @@ class DynamicColoring:
         escalate_fraction: float = 0.5,
         rebuild_fraction: float = 0.25,
         verify_each_batch: bool = True,
+        tracer=None,
     ):
         if mode not in ("repair", "scratch"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -170,6 +178,7 @@ class DynamicColoring:
         self.mode = mode
         self.escalate_fraction = escalate_fraction
         self.verify_each_batch = verify_each_batch
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.delta = DeltaCSR(graph.csr, rebuild_fraction=rebuild_fraction)
         self.cluster_sizes = np.asarray(
             [graph.cluster_size(v) for v in range(graph.n_vertices)],
@@ -182,13 +191,18 @@ class DynamicColoring:
             bandwidth_bits=self.params.bandwidth_bits(max(2, graph.n_machines)),
             dilation=max(1, graph.dilation),
         )
+        self.tracer.bind_ledger(self.ledger)
         self.num_colors = self.delta.max_degree + 1
         if colors is None:
             from repro import color_cluster_graph
 
-            bootstrap = color_cluster_graph(
-                graph, params=self.params, rng=self.rng, verify=True
-            )
+            # the bootstrap runs on its own runtime ledger (its cost is
+            # reported as bootstrap_wall_time_s, not stream rounds), so the
+            # span captures wall time and zero stream-ledger charges
+            with self.tracer.span("stream.bootstrap"):
+                bootstrap = color_cluster_graph(
+                    graph, params=self.params, rng=self.rng, verify=True
+                )
             colors = bootstrap.colors
         self.colors = np.asarray(colors, dtype=np.int64).copy()
         if self.colors.size != graph.n_vertices:
@@ -253,6 +267,10 @@ class DynamicColoring:
 
     def apply(self, batch: UpdateBatch) -> BatchReport:
         """Apply one batch structurally, repair the frontier, verify."""
+        with self.tracer.span("stream.batch", batch=len(self.reports)) as span:
+            return self._apply_in_span(batch, span)
+
+    def _apply_in_span(self, batch: UpdateBatch, span) -> BatchReport:
         start = time.perf_counter()
         before = self.ledger.snapshot()
         dirty: set[int] = set()
@@ -305,6 +323,13 @@ class DynamicColoring:
             proper=proper,
             num_colors=self.num_colors,
         )
+        span.counter("frontier", report.dirty)
+        span.counter("repaired", report.repaired)
+        span.counter("repair_rounds", report.repair_rounds)
+        if report.escalated:
+            span.counter("escalations", 1)
+        if report.compacted:
+            span.counter("compactions", 1)
         self.reports.append(report)
         return report
 

@@ -22,6 +22,7 @@ def run_stream(
     seed: int = 0,
     mode: str = "repair",
     verify_each_batch: bool = True,
+    tracer=None,
 ) -> tuple[DynamicColoring, StreamResult, dict[str, Any]]:
     """Bootstrap, absorb every batch, and summarize.
 
@@ -31,6 +32,8 @@ def run_stream(
     the batch loop (``stream_wall_time_s``); the sweep runner separately
     records whole-cell wall time, which additionally includes workload
     generation and the bootstrap coloring (identical for both modes).
+    ``tracer`` (optional) is handed to the engine: the trace gains a
+    ``stream.bootstrap`` span plus one ``stream.batch`` span per batch.
     """
     graph = workload.graph
     batches = getattr(workload, "batches", None)
@@ -50,6 +53,7 @@ def run_stream(
         seed=seed,
         mode=engine_mode,
         verify_each_batch=verify_each_batch,
+        tracer=tracer,
     )
     bootstrap_s = time.perf_counter() - bootstrap_start
     result = engine.run(batches)

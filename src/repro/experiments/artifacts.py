@@ -96,10 +96,12 @@ class Artifact:
 
     @property
     def suite(self) -> str:
+        """Suite name recorded in the header (``"?"`` if absent)."""
         return self.header.get("suite", "?")
 
     @property
     def spec_hash(self) -> str:
+        """Scenario spec hash recorded in the header (``"?"`` if absent)."""
         return self.header.get("spec_hash", "?")
 
     def by_key(self) -> dict[str, dict[str, Any]]:
@@ -107,6 +109,7 @@ class Artifact:
         return {r["key"]: r for r in self.records}
 
     def ok_records(self) -> list[dict[str, Any]]:
+        """Only the cell records that completed with ``status == "ok"``."""
         return [r for r in self.records if r.get("status") == "ok"]
 
 

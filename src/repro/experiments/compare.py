@@ -42,12 +42,14 @@ class Delta:
 
     @property
     def relative(self) -> float:
+        """Fractional change of candidate over baseline (inf from zero)."""
         if self.baseline == 0:
             return 0.0 if self.candidate == 0 else float("inf")
         return self.candidate / self.baseline - 1.0
 
     @property
     def is_regression(self) -> bool:
+        """Whether the relative change exceeds this metric's tolerance."""
         if self.baseline == 0:
             return self.candidate > 0 and self.tolerance < float("inf")
         return self.relative > self.tolerance
@@ -72,14 +74,17 @@ class ComparisonReport:
 
     @property
     def regressions(self) -> list[Delta]:
+        """Deltas that exceed their metric's tolerance."""
         return [d for d in self.deltas if d.is_regression]
 
     @property
     def improvements(self) -> list[Delta]:
+        """Deltas where the candidate improved on the baseline."""
         return [d for d in self.deltas if d.relative < 0]
 
     @property
     def exit_code(self) -> int:
+        """1 if any gate (regression/properness/new failure) tripped, else 0."""
         gate_failures = (
             self.regressions or self.improperly_colored or self.newly_failed
         )

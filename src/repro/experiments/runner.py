@@ -39,6 +39,7 @@ import repro.coloring.polylog  # noqa: F401  (lazily imported by the pipeline)
 from repro.dynamic import run_stream
 from repro.experiments import artifacts
 from repro.experiments.spec import Cell, ScenarioSpec, STREAM_ALGORITHMS
+from repro.observe.tracer import Tracer
 from repro.params import paper, scaled
 from repro.workloads import GENERATORS
 
@@ -99,8 +100,17 @@ def _params(cell: Cell):
     raise ValueError(f"unknown params preset {cell.params!r}")
 
 
-def _execute(cell: Cell) -> dict[str, Any]:
-    """Run one cell's algorithm and extract its metric dict."""
+#: Algorithms that accept a tracer (the paper pipeline and the stream
+#: engine); baselines stay untraced -- they have no ledger stages to span.
+TRACEABLE_ALGORITHMS = {"paper"} | set(STREAM_ALGORITHMS)
+
+
+def _execute(cell: Cell, tracer: Tracer | None = None) -> dict[str, Any]:
+    """Run one cell's algorithm and extract its metric dict.
+
+    ``tracer`` (optional, traceable algorithms only) records the stage
+    spans; passing one is bitwise-invisible to every metric.
+    """
     workload = _build_workload(cell)
     graph = workload.graph
     params = _params(cell)
@@ -118,11 +128,12 @@ def _execute(cell: Cell) -> dict[str, Any]:
             params=params,
             seed=cell.seed,
             mode="repair" if cell.algorithm == "dynamic" else "scratch",
+            tracer=tracer,
         )
         metrics.update(stream_metrics)
     elif cell.algorithm == "paper":
         result = color_cluster_graph(
-            graph, params=params, seed=cell.seed, regime=cell.regime
+            graph, params=params, seed=cell.seed, regime=cell.regime, tracer=tracer
         )
         metrics.update(
             regime_effective=result.stats.regime,
@@ -160,13 +171,19 @@ def _execute(cell: Cell) -> dict[str, Any]:
     return metrics
 
 
-def run_cell(cell_dict: dict[str, Any], timeout_s: float | None = None) -> dict[str, Any]:
+def run_cell(
+    cell_dict: dict[str, Any],
+    timeout_s: float | None = None,
+    trace: bool = False,
+) -> dict[str, Any]:
     """Execute one cell (module-level so worker processes can pickle it).
 
-    Returns an artifact-ready record; never raises.
+    Returns an artifact-ready record; never raises.  ``trace=True`` adds a
+    ``"trace"`` section (the serialized span tree) to records of traceable
+    algorithms; tracing is bitwise-invisible to the metrics.
     """
     try:
-        return _run_cell_timed(cell_dict, timeout_s)
+        return _run_cell_timed(cell_dict, timeout_s, trace)
     except CellTimeout:
         # a late interval re-fire escaped _run_cell_timed's own except
         # blocks before they could disarm; the timer is off by now (the
@@ -184,8 +201,11 @@ def run_cell(cell_dict: dict[str, Any], timeout_s: float | None = None) -> dict[
         }
 
 
-def _run_cell_timed(cell_dict: dict[str, Any], timeout_s: float | None) -> dict[str, Any]:
+def _run_cell_timed(
+    cell_dict: dict[str, Any], timeout_s: float | None, trace: bool = False
+) -> dict[str, Any]:
     cell = Cell.from_dict(cell_dict)
+    tracer = Tracer() if trace and cell.algorithm in TRACEABLE_ALGORITHMS else None
     record: dict[str, Any] = {
         "kind": "cell",
         "key": cell.key(),
@@ -216,10 +236,12 @@ def _run_cell_timed(cell_dict: dict[str, Any], timeout_s: float | None) -> dict[
             # swallowed by a broad `except` deep in library code, and the
             # cell would then run to completion despite its budget
             signal.setitimer(signal.ITIMER_REAL, timeout_s, min(timeout_s, 0.1))
-        metrics = _execute(cell)
+        metrics = _execute(cell, tracer)
         if use_alarm:
             _disarm_alarm()
         record["metrics"] = metrics
+        if tracer is not None:
+            record["trace"] = tracer.to_dict()
     except CellTimeout:
         _disarm_alarm()
         record["status"] = "timeout"
@@ -273,11 +295,14 @@ def run_suite(
     jobs: int = 1,
     timeout_s: float | None = None,
     progress: ProgressFn | None = None,
+    trace: bool = False,
 ) -> list[dict[str, Any]]:
     """Run every cell of ``spec``; returns records in grid order.
 
     ``jobs <= 1`` runs serially in-process.  ``timeout_s=None`` uses the
     spec's ``cell_timeout_s``; pass ``0`` to disable timeouts entirely.
+    ``trace=True`` attaches span trees to traceable cells (see
+    :func:`run_cell`).
     """
     cells = spec.cells()
     if timeout_s is None:
@@ -288,14 +313,14 @@ def run_suite(
 
     if jobs <= 1 or total <= 1:
         for i, cell in enumerate(cells):
-            record = run_cell(cell.to_dict(), timeout_s)
+            record = run_cell(cell.to_dict(), timeout_s, trace)
             results[i] = record
             emit(_progress_line(record, sum(r is not None for r in results), total))
         return [r for r in results if r is not None]
 
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         pending = {
-            pool.submit(run_cell, cell.to_dict(), timeout_s): i
+            pool.submit(run_cell, cell.to_dict(), timeout_s, trace): i
             for i, cell in enumerate(cells)
         }
         while pending:
@@ -330,9 +355,12 @@ def run_sweep(
     timeout_s: float | None = None,
     out_path: str | pathlib.Path | None = None,
     progress: ProgressFn | None = None,
+    trace: bool = False,
 ) -> tuple[pathlib.Path, list[dict[str, Any]]]:
     """Run a suite and persist the artifact; returns (path, records)."""
-    records = run_suite(spec, jobs=jobs, timeout_s=timeout_s, progress=progress)
+    records = run_suite(
+        spec, jobs=jobs, timeout_s=timeout_s, progress=progress, trace=trace
+    )
     header = artifacts.make_header(
         spec.name,
         spec.spec_hash(),

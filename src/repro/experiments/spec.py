@@ -61,9 +61,11 @@ class WorkloadSpec:
 
     @staticmethod
     def of(name: str, *, instance_seed: int | None = None, **kwargs: Any) -> "WorkloadSpec":
+        """Build a spec from keyword arguments (stored sorted, hashable)."""
         return WorkloadSpec(name, tuple(sorted(kwargs.items())), instance_seed)
 
     def kwargs_dict(self) -> dict[str, Any]:
+        """The generator kwargs as a plain dict."""
         return dict(self.kwargs)
 
 
@@ -109,6 +111,7 @@ class Cell:
         )
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the artifact's ``cell`` field; picklable)."""
         return {
             "suite": self.suite,
             "workload": self.workload,
@@ -122,6 +125,7 @@ class Cell:
 
     @staticmethod
     def from_dict(data: dict[str, Any]) -> "Cell":
+        """Inverse of :meth:`to_dict` (tolerates missing optional fields)."""
         return Cell(
             suite=data["suite"],
             workload=data["workload"],
@@ -182,6 +186,7 @@ class ScenarioSpec:
         return hashlib.sha256(payload.encode()).hexdigest()[:12]
 
     def to_dict(self) -> dict[str, Any]:
+        """Summary form for headers/logs (name, size, spec hash)."""
         return {
             "name": self.name,
             "description": self.description,

@@ -20,6 +20,7 @@ aggregation).
 
 from __future__ import annotations
 
+import contextlib
 import math
 from collections import Counter
 from dataclasses import dataclass, field
@@ -27,6 +28,16 @@ from dataclasses import dataclass, field
 
 class ModelViolation(RuntimeError):
     """Raised when an operation breaks the communication model."""
+
+
+class _MaxWindowValue:
+    """Result holder yielded by :meth:`BandwidthLedger.max_window`;
+    ``value`` is the window-local maximum, filled on context exit."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
 
 
 @dataclass
@@ -40,12 +51,25 @@ class LedgerSnapshot:
     num_operations: int
 
     def diff(self, later: "LedgerSnapshot") -> "LedgerSnapshot":
-        """Counters accumulated between ``self`` and ``later``."""
+        """Counters accumulated between ``self`` and ``later``.
+
+        Contract: ``rounds_h`` / ``rounds_g`` / ``total_message_bits`` /
+        ``num_operations`` are true window differences.
+        ``max_message_bits`` is **not** window-local: a high-water mark
+        cannot be reconstructed from two running maxima, so the diff
+        carries ``later``'s *global* running maximum (the mark as of the
+        window's end) unchanged.  Callers needing the true within-window
+        maximum must bracket the window with
+        :meth:`BandwidthLedger.push_max_window` /
+        :meth:`BandwidthLedger.pop_max_window` (or the
+        :meth:`BandwidthLedger.max_window` context manager), which is what
+        tracer spans do.
+        """
         return LedgerSnapshot(
             rounds_h=later.rounds_h - self.rounds_h,
             rounds_g=later.rounds_g - self.rounds_g,
             total_message_bits=later.total_message_bits - self.total_message_bits,
-            max_message_bits=max(later.max_message_bits, self.max_message_bits),
+            max_message_bits=later.max_message_bits,
             num_operations=later.num_operations - self.num_operations,
         )
 
@@ -76,6 +100,8 @@ class BandwidthLedger:
     num_operations: int = 0
     per_op_rounds: Counter = field(default_factory=Counter)
     per_op_bits: Counter = field(default_factory=Counter)
+    #: Open max-window frames (innermost last); see :meth:`push_max_window`.
+    _window_maxes: list = field(default_factory=list, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.bandwidth_bits <= 0:
@@ -150,9 +176,10 @@ class BandwidthLedger:
         self.rounds_h += effective_rounds_h
         self.rounds_g += effective_rounds_h * d
         self.total_message_bits += bits_charged
-        self.max_message_bits = max(
-            self.max_message_bits, min(message_bits, self.bandwidth_bits)
-        )
+        capped_width = min(message_bits, self.bandwidth_bits)
+        self.max_message_bits = max(self.max_message_bits, capped_width)
+        if self._window_maxes and capped_width > self._window_maxes[-1]:
+            self._window_maxes[-1] = capped_width
         self.num_operations += 1
         self.per_op_rounds[op] += effective_rounds_h
         self.per_op_bits[op] += bits_charged
@@ -176,6 +203,9 @@ class BandwidthLedger:
             self.max_message_bits, int(summary["max_message_bits"])
         )
         self.num_operations += int(summary["num_operations"])
+        absorbed_max = int(summary["max_message_bits"])
+        if self._window_maxes and absorbed_max > self._window_maxes[-1]:
+            self._window_maxes[-1] = absorbed_max
         self.per_op_rounds[op] += rounds_h
         self.per_op_bits[op] += bits
 
@@ -183,6 +213,48 @@ class BandwidthLedger:
         """Record a zero-round bookkeeping operation (local computation)."""
         self.num_operations += 1
         self.per_op_rounds[op] += 0
+
+    # ---- window-local maxima -------------------------------------------------
+    #
+    # A running maximum cannot be diffed from snapshots (see
+    # LedgerSnapshot.diff), so the ledger tracks within-window maxima
+    # directly: a stack of frames, each holding the widest capped message
+    # charged while it was open.  O(1) per charge, exact under nesting --
+    # popping a frame folds its maximum into the parent frame, so an outer
+    # window sees everything its inner windows saw.
+
+    def push_max_window(self) -> None:
+        """Open a max-window frame: start tracking the widest (capped)
+        message charged from now until the matching :meth:`pop_max_window`."""
+        self._window_maxes.append(0)
+
+    def pop_max_window(self) -> int:
+        """Close the innermost max-window frame and return its true
+        within-window maximum message width (0 if nothing was charged).
+        Folds the result into the enclosing frame, if any."""
+        if not self._window_maxes:
+            raise RuntimeError("pop_max_window without a matching push")
+        window_max = self._window_maxes.pop()
+        if self._window_maxes and window_max > self._window_maxes[-1]:
+            self._window_maxes[-1] = window_max
+        return window_max
+
+    @contextlib.contextmanager
+    def max_window(self):
+        """Context-manager form of the max-window stack: yields a one-slot
+        holder whose ``value`` is filled with the window maximum on exit.
+
+        >>> with ledger.max_window() as w:
+        ...     ledger.charge("op", 12)
+        >>> w.value
+        12
+        """
+        holder = _MaxWindowValue()
+        self.push_max_window()
+        try:
+            yield holder
+        finally:
+            holder.value = self.pop_max_window()
 
     # ---- inspection ----------------------------------------------------------
 

@@ -1,0 +1,66 @@
+"""Observability: stage-level tracing and per-commit performance history.
+
+Everything here *watches* the pipeline without perturbing it.  The
+contract that makes the subsystem trustworthy:
+
+- a :class:`~repro.observe.tracer.Tracer` only reads the bandwidth
+  ledger's snapshots and the wall clock -- it never draws from the RNG,
+  never charges the ledger, and never branches the algorithms, so an
+  enabled tracer is *bitwise-invisible* (same colorings, same per-op
+  ledger, same RNG end state; tested in ``tests/test_observe.py``);
+- the default :data:`~repro.observe.tracer.NULL_TRACER` makes the whole
+  layer a single no-op method call when tracing is off;
+- history reporting (:mod:`repro.observe.history`) is *report-only*: it
+  flags soft wall-time regressions across commits but never gates
+  (``repro compare`` on metrics is the gate).
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and how it maps onto
+the paper's stages.
+"""
+
+from repro.observe.cells import cell_label, print_timings
+from repro.observe.history import (
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_THRESHOLD,
+    HISTORY_DIR,
+    Slowdown,
+    append_entry,
+    detect_slowdowns,
+    entry_from_artifact,
+    history_path,
+    list_suites,
+    load_history,
+    render_history,
+    trend_rows,
+)
+from repro.observe.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    aggregate_stage_rows,
+    stage_rows,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "stage_rows",
+    "aggregate_stage_rows",
+    "cell_label",
+    "print_timings",
+    "Slowdown",
+    "entry_from_artifact",
+    "append_entry",
+    "load_history",
+    "list_suites",
+    "history_path",
+    "detect_slowdowns",
+    "trend_rows",
+    "render_history",
+    "HISTORY_DIR",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_MIN_SECONDS",
+]

@@ -95,3 +95,72 @@ class TestStreamCommand:
         assert code == 0
         for name in ("sliding_window", "hotspot_churn", "cluster_churn"):
             assert name in out
+
+
+class TestObservabilityCommands:
+    def test_trace_static_workload(self, capsys):
+        code = main(["trace", "figure1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stage" in out and "rounds_h" in out
+        assert "(match)" in out  # span sums reproduce the ledger totals
+
+    def test_trace_stream_workload(self, capsys):
+        code = main(["trace", "hotspot_churn"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stream.batch" in out and "stream.bootstrap" in out
+        assert "(match)" in out
+
+    def test_trace_json_dumps_span_tree(self, capsys):
+        import json
+
+        code = main(["trace", "figure1", "--json"])
+        tree = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert {s["name"] for s in tree["spans"]} == {"low_degree"}
+
+    def test_trace_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "nope"])
+
+    def test_history_append_and_report(self, tmp_path, capsys):
+        artifact = tmp_path / "smoke.jsonl"
+        code = main([
+            "sweep", "--suite", "smoke", "--quiet", "--out", str(artifact),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        code = main([
+            "history", "--append", str(artifact), "--dir", str(tmp_path / "h"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "appended smoke" in out
+        assert "report-only, never gates" in out
+        # second append: a trend (and still exit 0 -- report-only contract)
+        code = main([
+            "history", "--append", str(artifact), "--dir", str(tmp_path / "h"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 history entries" in out
+
+    def test_history_empty_store(self, tmp_path, capsys):
+        code = main(["history", "--dir", str(tmp_path / "empty")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "history store is empty" in out
+
+    def test_cells_prints_table(self, tmp_path, capsys):
+        artifact = tmp_path / "smoke.jsonl"
+        assert main(["sweep", "--suite", "smoke", "--quiet",
+                     "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        code = main(["cells", str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-cell wall times" in out
+
+    def test_cells_missing_artifact(self, tmp_path):
+        assert main(["cells", str(tmp_path / "nope.jsonl")]) == 2

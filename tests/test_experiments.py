@@ -116,6 +116,53 @@ class TestRunner:
         cell = TINY.cells()[2].to_dict()
         assert run_cell(cell)["metrics"] == run_cell(cell)["metrics"]
 
+    def test_traced_run_cell_adds_trace_without_changing_metrics(self):
+        cell = TINY.cells()[0].to_dict()
+        plain = run_cell(cell)
+        traced = run_cell(cell, None, True)
+        assert traced["metrics"] == plain["metrics"]  # tracing is invisible
+        assert "trace" not in plain
+        spans = traced["trace"]["spans"]
+        assert spans, "traced paper cell must carry top-level spans"
+        assert sum(s["rounds_h"] for s in spans) == traced["metrics"]["rounds_h"]
+        assert (
+            sum(s["message_bits"] for s in spans)
+            == traced["metrics"]["total_message_bits"]
+        )
+        json.dumps(traced)  # artifact-serializable
+
+    def test_traced_baseline_cell_has_no_trace(self):
+        cell = Cell.from_dict({**TINY.cells()[0].to_dict(), "algorithm": "luby"})
+        record = run_cell(cell.to_dict(), None, True)
+        assert record["status"] == "ok"
+        assert "trace" not in record
+
+    def test_traced_stream_cell_has_batch_spans(self):
+        stream_cell = Cell(
+            suite="t",
+            workload="hotspot_churn",
+            workload_kwargs=(),
+            params="scaled",
+            regime="auto",
+            algorithm="dynamic",
+            seed=0,
+            instance_seed=0,
+        )
+        plain = run_cell(stream_cell.to_dict())
+        traced = run_cell(stream_cell.to_dict(), None, True)
+        wall_keys = {"bootstrap_wall_time_s", "stream_wall_time_s"}
+        assert {k: v for k, v in traced["metrics"].items() if k not in wall_keys} \
+            == {k: v for k, v in plain["metrics"].items() if k not in wall_keys}
+        names = [s["name"] for s in traced["trace"]["spans"]]
+        assert names[0] == "stream.bootstrap"
+        batch_spans = [s for s in traced["trace"]["spans"]
+                       if s["name"] == "stream.batch"]
+        assert batch_spans
+        assert (
+            sum(s["rounds_h"] for s in batch_spans)
+            == traced["metrics"]["rounds_h"]
+        )
+
     def test_run_cell_captures_failures(self):
         bad = Cell(
             suite="t",

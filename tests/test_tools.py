@@ -29,6 +29,11 @@ class TestLintDocstrings:
         assert "src/repro/sketch" in targets
         assert "src/repro/decomposition" in targets
 
+    def test_covers_observe_and_experiments(self):
+        targets = " ".join(lint_docstrings.DEFAULT_TARGETS)
+        assert "src/repro/observe" in targets
+        assert "src/repro/experiments" in targets
+
 
 class TestPrintCellTimes:
     def _artifact(self, tmp_path) -> Path:
@@ -66,3 +71,13 @@ class TestPrintCellTimes:
 
     def test_missing_artifact_is_an_error(self, tmp_path):
         assert print_cell_times.main([str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_shim_reexports_observe_cells(self):
+        """The script is now a shim over repro.observe.cells; the CI
+        invocation and the `repro cells` command must share one
+        implementation."""
+        from repro.observe import cells
+
+        assert print_cell_times.main is cells.main
+        assert print_cell_times.print_timings is cells.print_timings
+        assert print_cell_times.cell_label is cells.cell_label

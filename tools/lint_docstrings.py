@@ -30,6 +30,8 @@ DEFAULT_TARGETS = (
     "src/repro/dynamic",
     "src/repro/sketch",
     "src/repro/decomposition",
+    "src/repro/observe",
+    "src/repro/experiments",
 )
 
 FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
