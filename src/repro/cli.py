@@ -51,11 +51,37 @@ def _build_workload(args) -> object:
     return maker(np.random.default_rng(args.instance_seed))
 
 
+def _backend_kwargs(args) -> dict:
+    """Backend selection kwargs shared by the backend-aware commands.
+
+    ``--backend`` / ``--shards`` default to ``None`` so library-level
+    resolution applies (``$REPRO_BACKEND`` / ``$REPRO_SHARDS`` are read by
+    :func:`repro.parallel.backend.make_backend`; unset means serial).
+    """
+    backend = getattr(args, "backend", None)
+    shards = getattr(args, "shards", None)
+    if backend is None and shards is not None:
+        backend = "sharded"
+    return {"backend": backend, "shards": shards}
+
+
+def _print_boundary(summary: dict | None) -> None:
+    """One-line cross-shard traffic report for sharded executions."""
+    if not summary:
+        return
+    print(
+        f"backend=sharded shards={summary.get('shards')} "
+        f"mode={summary.get('mode')} exchanges={summary.get('exchanges')} "
+        f"boundary_bits={summary.get('total_message_bits')}"
+    )
+
+
 def _cmd_color(args) -> int:
     w = _build_workload(args)
     params = paper() if args.params == "paper" else scaled()
     result = color_cluster_graph(
-        w.graph, params=params, seed=args.seed, regime=args.regime
+        w.graph, params=params, seed=args.seed, regime=args.regime,
+        **_backend_kwargs(args),
     )
     print(f"workload: {w.name}  ({w.notes})")
     print(
@@ -67,6 +93,7 @@ def _cmd_color(args) -> int:
         f"rounds_h={result.rounds_h} rounds_g={result.rounds_g} "
         f"colors={len(set(result.colors.tolist()))}/{result.num_colors}"
     )
+    _print_boundary(result.backend_summary)
     rows = [
         {"stage": stage, "rounds_h": rounds}
         for stage, rounds in sorted(result.stats.stage_rounds.items())
@@ -167,7 +194,7 @@ def _cmd_stream(args) -> int:
         # regenerate per mode: both sides must see the identical stream
         w = maker(np.random.default_rng(args.instance_seed))
         _engine, result, metrics = run_stream(
-            w, params=params, seed=args.seed, mode=mode
+            w, params=params, seed=args.seed, mode=mode, **_backend_kwargs(args)
         )
         summaries[mode] = metrics
         print(f"workload: {w.name}  ({w.notes})")
@@ -200,6 +227,13 @@ def _cmd_stream(args) -> int:
             f"rounds_h={metrics['rounds_h']} bits={metrics['total_message_bits']} "
             f"stream_wall={metrics['stream_wall_time_s']:.3f}s"
         )
+        if "boundary_bits" in metrics:
+            print(
+                f"backend=sharded shards={metrics['backend_shards']} "
+                f"mode={metrics['backend_mode']} "
+                f"exchanges={metrics['boundary_exchanges']} "
+                f"boundary_bits={metrics['boundary_bits']}"
+            )
     if len(summaries) == 2:
         repair, scratch = summaries["repair"], summaries["scratch"]
         advantage = scratch["stream_wall_time_s"] / max(
@@ -221,11 +255,22 @@ def _cmd_sweep(args) -> int:
 
     spec = SUITES[args.suite]
     cells = spec.cells()
+    backend_kwargs = _backend_kwargs(args)
     progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
     if not args.quiet:
+        backend_note = (
+            f", backend={backend_kwargs['backend']}"
+            + (
+                f":{backend_kwargs['shards']}"
+                if backend_kwargs["shards"] is not None
+                else ""
+            )
+            if backend_kwargs["backend"] is not None
+            else ""
+        )
         print(
-            f"suite {spec.name!r}: {len(cells)} cells, jobs={args.jobs} "
-            f"({spec.description})",
+            f"suite {spec.name!r}: {len(cells)} cells, jobs={args.jobs}"
+            f"{backend_note} ({spec.description})",
             file=sys.stderr,
         )
     path, records = run_sweep(
@@ -235,6 +280,7 @@ def _cmd_sweep(args) -> int:
         out_path=args.out,
         progress=progress,
         trace=args.trace,
+        **backend_kwargs,
     )
     print(format_table(summarize(read_artifact(path))))
     failed = [r for r in records if r["status"] != "ok"]
@@ -255,11 +301,13 @@ def _cmd_trace(args) -> int:
     w = maker(np.random.default_rng(args.instance_seed))
     params = paper() if args.params == "paper" else scaled()
     tracer = Tracer()
+    backend_kwargs = _backend_kwargs(args)
     if args.workload in STREAMS:
         from repro.dynamic import run_stream
 
         _engine, _result, metrics = run_stream(
-            w, params=params, seed=args.seed, mode=args.mode, tracer=tracer
+            w, params=params, seed=args.seed, mode=args.mode, tracer=tracer,
+            **backend_kwargs,
         )
         proper = bool(metrics["proper"])
         ledger_rounds = metrics["rounds_h"]
@@ -270,7 +318,7 @@ def _cmd_trace(args) -> int:
     else:
         result = color_cluster_graph(
             w.graph, params=params, seed=args.seed, regime=args.regime,
-            tracer=tracer,
+            tracer=tracer, **backend_kwargs,
         )
         proper = bool(result.proper)
         ledger_rounds = result.rounds_h
@@ -308,7 +356,36 @@ def _cmd_trace(args) -> int:
         f"ledger totals: rounds_h={ledger_rounds} bits={ledger_bits}  "
         f"({'match' if matches else 'MISMATCH'})"
     )
+    exchange_spans = _collect_nested_spans(tracer.to_dict(), "shard.exchange")
+    if exchange_spans:
+        # nested spans: excluded from the top-level tables above, so they
+        # never disturb the span-sum invariant; their boundary_bits counter
+        # is the *real* cross-shard traffic (backend exchange ledger), not
+        # a simulation charge
+        total_bits = sum(
+            s.get("counters", {}).get("boundary_bits", 0) for s in exchange_spans
+        )
+        wall = sum(s.get("wall_time_s", 0.0) for s in exchange_spans)
+        print(
+            f"shard.exchange: {len(exchange_spans)} exchanges, "
+            f"boundary_bits={int(total_bits)}, wall_s={wall:.4f}"
+        )
     return 0 if proper and matches else 1
+
+
+def _collect_nested_spans(trace: dict | None, name: str) -> list[dict]:
+    """Every span named ``name`` anywhere in a serialized trace tree."""
+    found: list[dict] = []
+
+    def visit(span: dict) -> None:
+        if span.get("name") == name:
+            found.append(span)
+        for child in span.get("children", []):
+            visit(child)
+
+    for span in (trace or {}).get("spans", []):
+        visit(span)
+    return found
 
 
 def _cmd_history(args) -> int:
@@ -439,6 +516,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--instance-seed", type=int, default=0)
         p.add_argument("--seed", type=int, default=0)
 
+    def add_backend_args(p):
+        p.add_argument(
+            "--backend", choices=["serial", "sharded"], default=None,
+            help="execution backend for the batched kernels "
+            "(default: $REPRO_BACKEND, else serial); metric-invariant "
+            "by the backend contract (docs/PARALLEL.md)",
+        )
+        p.add_argument(
+            "--shards", type=int, default=None,
+            help="shard count for --backend sharded "
+            "(default: $REPRO_SHARDS, else 2); implies --backend sharded",
+        )
+
     p_color = sub.add_parser("color", help="run the coloring pipeline")
     add_workload_args(p_color)
     p_color.add_argument(
@@ -446,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
     )
     p_color.add_argument("--params", choices=["scaled", "paper"], default="scaled")
+    add_backend_args(p_color)
     p_color.set_defaults(func=_cmd_color)
 
     p_base = sub.add_parser("baselines", help="compare against the baselines")
@@ -474,6 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument(
         "--quiet", action="store_true", help="summary only, no per-batch table"
     )
+    add_backend_args(p_stream)
     p_stream.set_defaults(func=_cmd_stream)
 
     p_list = sub.add_parser("workloads", help="list instance generators")
@@ -506,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="attach span trees to traceable cells (bitwise-invisible)",
     )
+    add_backend_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_report = sub.add_parser("report", help="summarize a sweep artifact")
@@ -547,6 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--json", action="store_true", help="dump the full span tree as JSON"
     )
+    add_backend_args(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
 
     p_history = sub.add_parser(

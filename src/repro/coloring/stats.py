@@ -58,7 +58,12 @@ class ColoringStats:
 
 @dataclass
 class ColoringResult:
-    """The output of the end-to-end pipeline."""
+    """The output of the end-to-end pipeline.
+
+    ``backend_summary`` is ``None`` for serial executions; sharded runs
+    carry the exchange-ledger totals of their cross-shard boundary traffic
+    (see :meth:`repro.parallel.backend.ExecutionBackend.exchange_summary`).
+    """
 
     colors: np.ndarray
     num_colors: int
@@ -67,6 +72,7 @@ class ColoringResult:
     proper: bool
     seed: int
     params_name: str
+    backend_summary: dict | None = None
 
     @property
     def rounds_h(self) -> int:

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.aggregation.runtime import ClusterRuntime
 from repro.coloring.types import PartialColoring
-from repro.graphcore import batch_conflict_mask, csr_of
+from repro.graphcore import csr_of
 
 ColorSampler = Callable[[int], int | None]
 
@@ -47,7 +47,7 @@ def resolve_proposals(
         cands = np.fromiter(proposals.values(), dtype=np.int64, count=len(proposals))
         proposal_arr = np.full(graph.n_vertices, -2, dtype=np.int64)
         proposal_arr[verts] = cands
-        blocked = batch_conflict_mask(
+        blocked = runtime.backend.conflict_mask(
             csr_of(graph),
             coloring.colors,
             verts,
@@ -75,14 +75,23 @@ def try_color_round(
     ``vertices``; ``sampler(v)`` draws from ``C(v)``.
     """
     proposals: dict[int, int] = {}
-    for v in vertices:
-        if coloring.is_colored(v):
-            continue
-        if activation < 1.0 and runtime.rng.random() >= activation:
-            continue
-        c = sampler(v)
-        if c is not None:
-            proposals[v] = int(c)
+    sample_batch = getattr(sampler, "sample_batch", None)
+    if sample_batch is not None and activation >= 1.0:
+        # batch samplers draw per vertex in the same order as the loop
+        # below would, so the RNG stream (and hence the coloring) is
+        # bitwise-identical -- only palette discovery is batched.
+        proposals = sample_batch(
+            [v for v in vertices if not coloring.is_colored(v)]
+        )
+    else:
+        for v in vertices:
+            if coloring.is_colored(v):
+                continue
+            if activation < 1.0 and runtime.rng.random() >= activation:
+                continue
+            c = sampler(v)
+            if c is not None:
+                proposals[v] = int(c)
     if not proposals:
         runtime.h_rounds(op, count=1, bits=runtime.color_bits)
         return []
@@ -108,6 +117,13 @@ def palette_sampler(
     """Sampler for ``C(v) = L_φ(v)`` -- only legitimate in the low-degree
     regime, where palettes fit in ``O(log n)``-bit bitmaps (Section 9.1);
     callers there charge the bitmap exchange.
+
+    The returned sampler also carries a ``sample_batch`` attribute:
+    :func:`try_color_round` uses it (at full activation) to discover every
+    palette in one backend used-color-mask evaluation instead of a
+    per-vertex CSR gather, then draws per vertex in the same order the
+    per-vertex path would -- same RNG stream, same proposals, just batched
+    (and shardable) palette discovery.
     """
 
     def sample(v: int) -> int | None:
@@ -116,6 +132,23 @@ def palette_sampler(
             return None
         return int(free[int(runtime.rng.integers(0, free.size))])
 
+    def sample_batch(vertices: list[int]) -> dict[int, int]:
+        if not vertices:
+            return {}
+        verts = np.asarray(vertices, dtype=np.int64)
+        used = runtime.backend.used_color_masks(
+            csr_of(runtime.graph), coloring.colors, verts, coloring.num_colors
+        )
+        proposals: dict[int, int] = {}
+        for v, row in zip(vertices, used):
+            free = np.flatnonzero(~row)
+            if free.size:
+                proposals[int(v)] = int(
+                    free[int(runtime.rng.integers(0, free.size))]
+                )
+        return proposals
+
+    sample.sample_batch = sample_batch
     return sample
 
 

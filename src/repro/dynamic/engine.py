@@ -155,6 +155,12 @@ class DynamicColoring:
         :meth:`apply` call in a span (``stream.bootstrap``,
         ``stream.batch[batch=i]``).  Tracing reads snapshots only -- traced
         streams are bitwise-identical to untraced ones.
+    backend:
+        Optional :class:`~repro.parallel.backend.ExecutionBackend` (or
+        spec string) for the pipeline runs the engine delegates to: the
+        bootstrap coloring and every large-frontier scratch-recolor
+        escalation -- exactly the paths where batched kernels dominate.
+        Value-identical by the backend contract (docs/PARALLEL.md).
     """
 
     def __init__(
@@ -170,12 +176,14 @@ class DynamicColoring:
         rebuild_fraction: float = 0.25,
         verify_each_batch: bool = True,
         tracer=None,
+        backend=None,
     ):
         if mode not in ("repair", "scratch"):
             raise ValueError(f"unknown mode {mode!r}")
         self.params = params or scaled()
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.mode = mode
+        self.backend = backend
         self.escalate_fraction = escalate_fraction
         self.verify_each_batch = verify_each_batch
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -201,7 +209,11 @@ class DynamicColoring:
             # span captures wall time and zero stream-ledger charges
             with self.tracer.span("stream.bootstrap"):
                 bootstrap = color_cluster_graph(
-                    graph, params=self.params, rng=self.rng, verify=True
+                    graph,
+                    params=self.params,
+                    rng=self.rng,
+                    verify=True,
+                    backend=self.backend,
                 )
             colors = bootstrap.colors
         self.colors = np.asarray(colors, dtype=np.int64).copy()
@@ -516,7 +528,11 @@ class DynamicColoring:
 
         snapshot = self.snapshot_graph()
         result = color_cluster_graph(
-            snapshot, params=self.params, rng=self.rng, verify=False
+            snapshot,
+            params=self.params,
+            rng=self.rng,
+            verify=False,
+            backend=self.backend,
         )
         self.colors = np.asarray(result.colors, dtype=np.int64).copy()
         self.num_colors = result.num_colors

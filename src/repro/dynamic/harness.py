@@ -12,6 +12,7 @@ import time
 from typing import Any
 
 from repro.dynamic.engine import DynamicColoring, StreamResult
+from repro.parallel.backend import ExecutionBackend, make_backend
 from repro.params import AlgorithmParameters
 
 
@@ -23,6 +24,8 @@ def run_stream(
     mode: str = "repair",
     verify_each_batch: bool = True,
     tracer=None,
+    backend: str | ExecutionBackend | None = None,
+    shards: int | None = None,
 ) -> tuple[DynamicColoring, StreamResult, dict[str, Any]]:
     """Bootstrap, absorb every batch, and summarize.
 
@@ -34,6 +37,10 @@ def run_stream(
     generation and the bootstrap coloring (identical for both modes).
     ``tracer`` (optional) is handed to the engine: the trace gains a
     ``stream.bootstrap`` span plus one ``stream.batch`` span per batch.
+    ``backend`` / ``shards`` select the execution backend for the engine's
+    pipeline delegations (bootstrap + scratch escalations); every metric
+    is backend-invariant by contract, and a sharded run adds its real
+    boundary-traffic totals (``boundary_bits`` et al.) to ``metrics``.
     """
     graph = workload.graph
     batches = getattr(workload, "batches", None)
@@ -42,6 +49,14 @@ def run_stream(
             f"workload {workload.name!r} has no update stream; "
             "stream modes need a StreamWorkload"
         )
+    owns_backend = not isinstance(backend, ExecutionBackend) and (
+        backend is not None or shards is not None
+    )
+    if backend is None and shards is not None:
+        backend = "sharded"
+    exec_backend = (
+        make_backend(backend, shards=shards) if backend is not None else None
+    )
     bootstrap_start = time.perf_counter()
     # map the cell-algorithm alias; anything unrecognized falls through to
     # DynamicColoring's own mode validation rather than silently running
@@ -54,6 +69,7 @@ def run_stream(
         mode=engine_mode,
         verify_each_batch=verify_each_batch,
         tracer=tracer,
+        backend=exec_backend,
     )
     bootstrap_s = time.perf_counter() - bootstrap_start
     result = engine.run(batches)
@@ -87,4 +103,16 @@ def run_stream(
         "vertices_final": engine.n_alive,
         "delta_final": engine.max_degree,
     }
+    if exec_backend is not None:
+        summary = exec_backend.exchange_summary()
+        if summary:
+            metrics.update(
+                backend="sharded",
+                backend_mode=summary.get("mode"),
+                backend_shards=summary.get("shards"),
+                boundary_bits=summary.get("total_message_bits", 0),
+                boundary_exchanges=summary.get("exchanges", 0),
+            )
+        if owns_backend:
+            exec_backend.close()
     return engine, result, metrics

@@ -2,26 +2,29 @@
 
 Expands a :class:`~repro.experiments.spec.ScenarioSpec` into cells and runs
 them either serially in-process (``jobs <= 1``: no pool overhead, exact
-tracebacks -- what the benchmark wrappers use) or across a
-``ProcessPoolExecutor``.  Each cell is independent and deterministic given
-its seeds, so parallel execution cannot change any measured number.
+tracebacks -- what the benchmark wrappers use) or scattered across the
+shared process pool of :mod:`repro.parallel.pool`.  Each cell is
+independent and deterministic given its seeds, so parallel execution
+cannot change any measured number.  Orthogonally, ``backend="sharded"``
+runs each cell's *kernels* through the sharded execution backend
+(docs/PARALLEL.md) -- also metric-invariant by the backend contract.
 
 Failure discipline: a cell that raises is captured as a ``status="error"``
 record with its traceback; a cell that exceeds its wall-clock budget is
-interrupted via ``SIGALRM`` (POSIX) and recorded as ``status="timeout"``.
-The sweep itself always completes and always writes an artifact -- partial
-data beats no data when a 200-cell sweep hits one pathological instance.
+interrupted via the pool's re-firing ``SIGALRM`` watchdog (POSIX) and
+recorded as ``status="timeout"``.  The sweep itself always completes and
+always writes an artifact -- partial data beats no data when a 200-cell
+sweep hits one pathological instance.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 import signal
-import threading
 import time
 import traceback
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable
 
 import numpy as np
@@ -40,44 +43,22 @@ from repro.dynamic import run_stream
 from repro.experiments import artifacts
 from repro.experiments.spec import Cell, ScenarioSpec, STREAM_ALGORITHMS
 from repro.observe.tracer import Tracer
+from repro.parallel.backend import BACKEND_ENV_VAR, ExecutionBackend
+from repro.parallel.pool import (
+    WatchdogTimeout,
+    alarm_available,
+    arm_alarm,
+    disarm_alarm,
+    scatter,
+)
 from repro.params import paper, scaled
 from repro.workloads import GENERATORS
 
 ProgressFn = Callable[[str], None]
 
-
-class CellTimeout(Exception):
-    """A cell exceeded its wall-clock budget."""
-
-
-# The SIGALRM handler only raises while this flag is armed, so a late
-# re-fire landing inside run_cell's own except/finally bookkeeping cannot
-# escape the function (run_cell promises to never raise).
-_alarm_state = {"armed": False}
-
-
-def _alarm_handler(signum, frame):  # pragma: no cover - fires only on timeout
-    if _alarm_state["armed"]:
-        raise CellTimeout()
-
-
-def _disarm_alarm() -> None:
-    _alarm_state["armed"] = False
-    signal.setitimer(signal.ITIMER_REAL, 0)
-
-
-def _alarm_available() -> bool:
-    """Whether a SIGALRM watchdog can be armed here.
-
-    ``hasattr(signal, "SIGALRM")`` alone is not enough: ``signal.signal``
-    raises ``ValueError`` off the main thread (e.g. the runner embedded
-    under a thread-based caller), which used to surface as a bogus
-    ``status="error"`` cell.
-    """
-    return (
-        hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
+#: Backwards-compatible alias: the runner's timeout exception is now the
+#: shared watchdog's (:mod:`repro.parallel.pool`).
+CellTimeout = WatchdogTimeout
 
 
 def error_summary(error: str | None) -> str:
@@ -105,12 +86,44 @@ def _params(cell: Cell):
 TRACEABLE_ALGORITHMS = {"paper"} | set(STREAM_ALGORITHMS)
 
 
-def _execute(cell: Cell, tracer: Tracer | None = None) -> dict[str, Any]:
+def _boundary_metrics(summary: dict[str, Any] | None) -> dict[str, Any]:
+    """Flatten a backend exchange summary into artifact metric keys.
+
+    Empty for serial executions (no cross-shard traffic exists); the keys
+    are additive, so serial and sharded artifacts still align cell-for-cell
+    under ``repro compare`` (which only gates the shared metrics).
+    """
+    if not summary:
+        return {}
+    return {
+        "backend": "sharded",
+        "backend_mode": summary.get("mode"),
+        "backend_shards": summary.get("shards"),
+        "boundary_bits": summary.get("total_message_bits", 0),
+        "boundary_exchanges": summary.get("exchanges", 0),
+    }
+
+
+def _execute(
+    cell: Cell,
+    tracer: Tracer | None = None,
+    backend: str | ExecutionBackend | None = None,
+    shards: int | None = None,
+) -> dict[str, Any]:
     """Run one cell's algorithm and extract its metric dict.
 
     ``tracer`` (optional, traceable algorithms only) records the stage
-    spans; passing one is bitwise-invisible to every metric.
+    spans; passing one is bitwise-invisible to every metric.  ``backend`` /
+    ``shards`` select the execution backend for backend-aware algorithms
+    (the paper pipeline and the stream engine); by the backend contract
+    every gated metric is backend-invariant, and sharded runs additionally
+    record their real boundary traffic (``boundary_bits`` et al.).
     """
+    if backend is None:
+        # honor $REPRO_BACKEND here (not in the pipeline) so library callers
+        # of color_cluster_graph stay env-independent while sweeps can be
+        # flipped wholesale without new plumbing
+        backend = os.environ.get(BACKEND_ENV_VAR) or None
     workload = _build_workload(cell)
     graph = workload.graph
     params = _params(cell)
@@ -129,11 +142,19 @@ def _execute(cell: Cell, tracer: Tracer | None = None) -> dict[str, Any]:
             seed=cell.seed,
             mode="repair" if cell.algorithm == "dynamic" else "scratch",
             tracer=tracer,
+            backend=backend,
+            shards=shards,
         )
         metrics.update(stream_metrics)
     elif cell.algorithm == "paper":
         result = color_cluster_graph(
-            graph, params=params, seed=cell.seed, regime=cell.regime, tracer=tracer
+            graph,
+            params=params,
+            seed=cell.seed,
+            regime=cell.regime,
+            tracer=tracer,
+            backend=backend,
+            shards=shards,
         )
         metrics.update(
             regime_effective=result.stats.regime,
@@ -145,6 +166,7 @@ def _execute(cell: Cell, tracer: Tracer | None = None) -> dict[str, Any]:
             proper=bool(result.proper),
             fallbacks=int(sum(result.stats.fallbacks.values())),
             retries=int(sum(result.stats.retries.values())),
+            **_boundary_metrics(result.backend_summary),
         )
     else:
         comparators = {
@@ -175,20 +197,24 @@ def run_cell(
     cell_dict: dict[str, Any],
     timeout_s: float | None = None,
     trace: bool = False,
+    backend: str | None = None,
+    shards: int | None = None,
 ) -> dict[str, Any]:
     """Execute one cell (module-level so worker processes can pickle it).
 
     Returns an artifact-ready record; never raises.  ``trace=True`` adds a
     ``"trace"`` section (the serialized span tree) to records of traceable
-    algorithms; tracing is bitwise-invisible to the metrics.
+    algorithms; tracing is bitwise-invisible to the metrics.  ``backend`` /
+    ``shards`` are spec strings (not instances -- cells must stay
+    picklable) forwarded to :func:`_execute`.
     """
     try:
-        return _run_cell_timed(cell_dict, timeout_s, trace)
+        return _run_cell_timed(cell_dict, timeout_s, trace, backend, shards)
     except CellTimeout:
         # a late interval re-fire escaped _run_cell_timed's own except
         # blocks before they could disarm; the timer is off by now (the
         # inner finally ran while the exception propagated)
-        _disarm_alarm()
+        disarm_alarm()
         cell = Cell.from_dict(cell_dict)
         return {
             "kind": "cell",
@@ -202,7 +228,11 @@ def run_cell(
 
 
 def _run_cell_timed(
-    cell_dict: dict[str, Any], timeout_s: float | None, trace: bool = False
+    cell_dict: dict[str, Any],
+    timeout_s: float | None,
+    trace: bool = False,
+    backend: str | None = None,
+    shards: int | None = None,
 ) -> dict[str, Any]:
     cell = Cell.from_dict(cell_dict)
     tracer = Tracer() if trace and cell.algorithm in TRACEABLE_ALGORITHMS else None
@@ -216,7 +246,7 @@ def _run_cell_timed(
         "error": None,
     }
     want_timeout = timeout_s is not None and timeout_s > 0
-    use_alarm = want_timeout and _alarm_available()
+    use_alarm = want_timeout and alarm_available()
     if want_timeout and not use_alarm:
         warnings.warn(
             "cell timeout requested but SIGALRM is unavailable here "
@@ -230,30 +260,25 @@ def _run_cell_timed(
     start = time.perf_counter()
     try:
         if use_alarm:
-            previous = signal.signal(signal.SIGALRM, _alarm_handler)
-            _alarm_state["armed"] = True
-            # re-fire until the raise escapes: a one-shot alarm can be
-            # swallowed by a broad `except` deep in library code, and the
-            # cell would then run to completion despite its budget
-            signal.setitimer(signal.ITIMER_REAL, timeout_s, min(timeout_s, 0.1))
-        metrics = _execute(cell, tracer)
+            previous = arm_alarm(timeout_s)
+        metrics = _execute(cell, tracer, backend, shards)
         if use_alarm:
-            _disarm_alarm()
+            disarm_alarm()
         record["metrics"] = metrics
         if tracer is not None:
             record["trace"] = tracer.to_dict()
     except CellTimeout:
-        _disarm_alarm()
+        disarm_alarm()
         record["status"] = "timeout"
         record["error"] = f"cell exceeded {timeout_s:g}s budget"
     except Exception:
         if use_alarm:
-            _disarm_alarm()
+            disarm_alarm()
         record["status"] = "error"
         record["error"] = traceback.format_exc(limit=20)
     finally:
         if use_alarm:
-            _disarm_alarm()
+            disarm_alarm()
             if previous is not None:  # handler install itself may have failed
                 signal.signal(signal.SIGALRM, previous)
         record["wall_time_s"] = round(time.perf_counter() - start, 4)
@@ -296,13 +321,19 @@ def run_suite(
     timeout_s: float | None = None,
     progress: ProgressFn | None = None,
     trace: bool = False,
+    backend: str | None = None,
+    shards: int | None = None,
 ) -> list[dict[str, Any]]:
     """Run every cell of ``spec``; returns records in grid order.
 
     ``jobs <= 1`` runs serially in-process.  ``timeout_s=None`` uses the
     spec's ``cell_timeout_s``; pass ``0`` to disable timeouts entirely.
     ``trace=True`` attaches span trees to traceable cells (see
-    :func:`run_cell`).
+    :func:`run_cell`).  ``backend`` / ``shards`` select the per-cell
+    execution backend (spec strings, see
+    :func:`repro.parallel.backend.make_backend`); backends are *not* part
+    of a cell's key, so serial and sharded sweeps of the same suite align
+    cell-for-cell under ``repro compare``.
     """
     cells = spec.cells()
     if timeout_s is None:
@@ -313,38 +344,27 @@ def run_suite(
 
     if jobs <= 1 or total <= 1:
         for i, cell in enumerate(cells):
-            record = run_cell(cell.to_dict(), timeout_s, trace)
+            record = run_cell(cell.to_dict(), timeout_s, trace, backend, shards)
             results[i] = record
             emit(_progress_line(record, sum(r is not None for r in results), total))
         return [r for r in results if r is not None]
 
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        pending = {
-            pool.submit(run_cell, cell.to_dict(), timeout_s, trace): i
-            for i, cell in enumerate(cells)
-        }
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                index = pending.pop(future)
-                try:
-                    record = future.result()
-                except Exception:  # worker died (OOM, hard crash)
-                    record = {
-                        "kind": "cell",
-                        "key": cells[index].key(),
-                        "cell": cells[index].to_dict(),
-                        "status": "error",
-                        "metrics": {},
-                        "wall_time_s": None,
-                        "error": traceback.format_exc(limit=5),
-                    }
-                results[index] = record
-                emit(
-                    _progress_line(
-                        record, sum(r is not None for r in results), total
-                    )
-                )
+    payloads = [
+        (cell.to_dict(), timeout_s, trace, backend, shards) for cell in cells
+    ]
+    for index, record, error in scatter(run_cell, payloads, jobs=jobs):
+        if error is not None:  # worker died (OOM, hard crash)
+            record = {
+                "kind": "cell",
+                "key": cells[index].key(),
+                "cell": cells[index].to_dict(),
+                "status": "error",
+                "metrics": {},
+                "wall_time_s": None,
+                "error": error,
+            }
+        results[index] = record
+        emit(_progress_line(record, sum(r is not None for r in results), total))
     return [r for r in results if r is not None]
 
 
@@ -356,15 +376,29 @@ def run_sweep(
     out_path: str | pathlib.Path | None = None,
     progress: ProgressFn | None = None,
     trace: bool = False,
+    backend: str | None = None,
+    shards: int | None = None,
 ) -> tuple[pathlib.Path, list[dict[str, Any]]]:
     """Run a suite and persist the artifact; returns (path, records)."""
     records = run_suite(
-        spec, jobs=jobs, timeout_s=timeout_s, progress=progress, trace=trace
+        spec,
+        jobs=jobs,
+        timeout_s=timeout_s,
+        progress=progress,
+        trace=trace,
+        backend=backend,
+        shards=shards,
     )
     header = artifacts.make_header(
         spec.name,
         spec.spec_hash(),
-        extra={"description": spec.description, "jobs": jobs, "n_cells": len(records)},
+        extra={
+            "description": spec.description,
+            "jobs": jobs,
+            "n_cells": len(records),
+            "backend": backend or "serial",
+            "shards": shards,
+        },
     )
     path = pathlib.Path(out_path) if out_path else artifacts.default_artifact_path(spec.name)
     artifacts.write_artifact(path, header, records)

@@ -1,0 +1,47 @@
+"""Execution backends: where the batched kernels actually run.
+
+The coloring layer asks *what* to compute (conflict masks, used-color
+masks, slack counts); an :class:`~repro.parallel.backend.ExecutionBackend`
+decides *where*.  :class:`~repro.parallel.backend.SerialBackend` evaluates
+kernels in-process and is bitwise-identical to calling them directly --
+the default every pinned-seed digest gates.
+:class:`~repro.parallel.sharded.ShardedBackend` partitions the CSR into
+vertex shards (:func:`repro.graphcore.shard_csr`), evaluates each kernel
+per shard -- inline or in a persistent forked worker pool sharing the
+color state through anonymous shared memory -- merges results in
+deterministic shard order, and charges a separate exchange ledger for the
+boundary colors that cross shards between rounds.
+
+:mod:`repro.parallel.pool` holds the process-pool and SIGALRM-watchdog
+machinery shared by the sharded backend and the experiment runner.
+"""
+
+from repro.parallel.backend import (
+    BACKEND_ENV_VAR,
+    SHARDS_ENV_VAR,
+    ExecutionBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.parallel.pool import (
+    ShardWorkerPool,
+    WatchdogTimeout,
+    WorkerCrash,
+    alarm_available,
+    scatter,
+)
+from repro.parallel.sharded import ShardedBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "SHARDS_ENV_VAR",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ShardedBackend",
+    "ShardWorkerPool",
+    "WatchdogTimeout",
+    "WorkerCrash",
+    "alarm_available",
+    "make_backend",
+    "scatter",
+]

@@ -1,0 +1,492 @@
+"""Sharded kernel evaluation over a persistent shared-memory worker pool.
+
+:class:`ShardedBackend` partitions a graph's CSR into ``k`` vertex shards
+(:func:`repro.graphcore.shard_csr`) and evaluates every kernel call
+per shard.  The coordinating process keeps *all* randomness and ledger
+state -- workers only ever see pure kernel inputs -- so results are
+value-identical to the serial backend for any shard count (the backend
+contract, docs/PARALLEL.md): per-shard partial results are merged in
+deterministic shard-index order and scattered back to the caller's
+query order.
+
+Two execution modes:
+
+* ``"fork"``: a persistent :class:`~repro.parallel.pool.ShardWorkerPool`
+  of forked workers, one per shard.  Shard CSRs are inherited
+  copy-on-write at fork time; the mutable round state (colors, proposal
+  map, active mask) lives in anonymous shared memory
+  (``multiprocessing.RawArray``) written by the coordinator before each
+  round and read by workers through inherited numpy views, so nothing
+  grows with the graph on the request pipes.
+* ``"inline"``: the same partition, merge order, and exchange accounting
+  executed in-process -- the degenerate pool for machines without
+  ``fork`` (or without spare cores, where forked workers cannot win).
+
+``"auto"`` picks ``fork`` when the platform supports it and more than one
+CPU is available, else ``inline``.
+
+Boundary accounting: before each kernel evaluation the coordinator
+"ships" every shard the colors of its halo vertices that changed since
+the previous exchange (the first exchange ships the whole halo).  Those
+payloads are charged to per-shard :class:`~repro.network.ledger.BandwidthLedger`
+partials -- ``bits = color_bits x changed-halo size`` (plus the boundary
+slice of the proposal map for proposal rounds), ``rounds_h = 1`` per
+exchange -- merged via :meth:`~repro.network.ledger.BandwidthLedger.absorb`
+in shard order by :meth:`ShardedBackend.exchange_summary`.  This exchange
+ledger is deliberately *separate* from the simulation's ledger: simulated
+metrics stay backend-invariant, while the exchange summary measures what
+the sharded execution actually moved.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.graphcore import CSRAdjacency, shard_csr
+from repro.graphcore.kernels import (
+    batch_slack_counts,
+    batch_used_color_masks,
+    gather_neighborhoods,
+)
+from repro.graphcore.shard import CSRShard, ShardPlan
+from repro.network.ledger import BandwidthLedger
+from repro.observe.tracer import NULL_TRACER
+from repro.parallel.backend import ExecutionBackend
+from repro.parallel.pool import ShardWorkerPool
+
+#: Proposal-map sentinel for "no proposal" (mirrors resolve_proposals).
+NO_PROPOSAL = -2
+
+#: Fallback color width (bits) when the backend is used unbound.
+DEFAULT_COLOR_BITS = 16
+
+#: Fallback per-link bandwidth for the exchange ledger when unbound.
+DEFAULT_EXCHANGE_CAP_BITS = 1 << 20
+
+
+def _shard_conflict_mask(
+    shard: CSRShard,
+    colors_local: np.ndarray,
+    verts_local: np.ndarray,
+    candidates: np.ndarray,
+    proposal_local: np.ndarray | None,
+    symmetric: bool,
+) -> np.ndarray:
+    """Per-shard ``batch_conflict_mask`` over shard-local state.
+
+    Neighbor colors and proposals are read from the shard-local view
+    (owned + halo); the smaller-ID-wins tie-break compares *global* ids
+    (mapped through ``local_to_global``), exactly as the full-CSR kernel
+    does -- local ids would order halo vertices after owned ones and
+    corrupt the rule.
+    """
+    seg_ids, flat_local = gather_neighborhoods(shard.csr, verts_local)
+    flat_cand = candidates[seg_ids]
+    conflict = colors_local[flat_local] == flat_cand
+    if proposal_local is not None:
+        same = proposal_local[flat_local] == flat_cand
+        if not symmetric:
+            flat_global = shard.local_to_global[flat_local]
+            verts_global = verts_local + shard.lo
+            same &= flat_global < verts_global[seg_ids]
+        conflict |= same
+    return np.bincount(seg_ids[conflict], minlength=verts_local.size) > 0
+
+
+def _make_shard_handler(
+    shard: CSRShard,
+    colors_view: np.ndarray,
+    proposal_view: np.ndarray,
+    active_view: np.ndarray,
+):
+    """Build the request handler one forked worker serves.
+
+    The views are numpy wrappers over the coordinator's shared-memory
+    buffers; with the ``fork`` start method the closure (shard CSR
+    included) is inherited copy-on-write, so the worker gathers its
+    owned+halo slice fresh from shared memory on every request -- the
+    in-simulation boundary import.
+    """
+
+    def handle(request: tuple) -> np.ndarray:
+        kind = request[0]
+        colors_local = colors_view[shard.local_to_global]
+        if kind == "conflict":
+            _, verts_local, cands, use_proposals, symmetric = request
+            proposal_local = (
+                proposal_view[shard.local_to_global] if use_proposals else None
+            )
+            return _shard_conflict_mask(
+                shard, colors_local, verts_local, cands, proposal_local, symmetric
+            )
+        if kind == "used":
+            _, verts_local, num_colors = request
+            return batch_used_color_masks(
+                shard.csr, colors_local, verts_local, num_colors
+            )
+        if kind == "slack":
+            _, verts_local, num_colors, use_active = request
+            active_local = (
+                active_view[shard.local_to_global].view(bool) if use_active else None
+            )
+            return batch_slack_counts(
+                shard.csr,
+                colors_local,
+                verts_local,
+                num_colors,
+                active_mask=active_local,
+            )
+        raise ValueError(f"unknown shard request kind {kind!r}")
+
+    return handle
+
+
+class ShardedBackend(ExecutionBackend):
+    """Evaluate kernels per CSR shard; merge in deterministic shard order.
+
+    Parameters
+    ----------
+    shards:
+        Requested shard count ``k`` (clamped to the vertex count per
+        graph; ``k=1`` degenerates to serial evaluation plus accounting).
+    mode:
+        ``"fork"`` (persistent worker pool), ``"inline"`` (in-process), or
+        ``"auto"`` (fork when supported and more than one CPU is online).
+    """
+
+    name = "sharded"
+
+    def __init__(self, shards: int = 2, mode: str = "auto"):
+        """See class docstring."""
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if mode not in ("auto", "fork", "inline"):
+            raise ValueError(f"unknown sharded mode {mode!r}")
+        if mode == "auto":
+            mode = (
+                "fork"
+                if ShardWorkerPool.available() and (os.cpu_count() or 1) > 1
+                else "inline"
+            )
+        if mode == "fork" and not ShardWorkerPool.available():
+            raise ValueError("fork start method unavailable on this platform")
+        self.shards = shards
+        self.mode = mode
+        self._tracer = NULL_TRACER
+        self._color_bits = DEFAULT_COLOR_BITS
+        self._cap_bits = DEFAULT_EXCHANGE_CAP_BITS
+        self._csr: CSRAdjacency | None = None
+        self._plan: ShardPlan | None = None
+        self._pool: ShardWorkerPool | None = None
+        self._handlers: list | None = None
+        self._colors_view: np.ndarray | None = None
+        self._proposal_view: np.ndarray | None = None
+        self._active_view: np.ndarray | None = None
+        self._synced: np.ndarray | None = None
+        self._never_synced = True
+        self._shard_ledgers: list[BandwidthLedger] = []
+        self._exchanges = 0
+
+    # ---- lifecycle -----------------------------------------------------------
+
+    def bind(self, runtime: Any) -> None:
+        """Adopt one execution's tracer and message widths.
+
+        Rebinding (a new pipeline, a dynamic escalation onto a snapshot
+        graph) keeps the cumulative exchange ledgers but drops the shard
+        plan, so the next kernel call re-partitions the new graph.
+        """
+        self._tracer = runtime.tracer if runtime.tracer is not None else NULL_TRACER
+        self._color_bits = runtime.color_bits
+        ledger = getattr(runtime, "ledger", None)
+        if ledger is not None:
+            self._cap_bits = ledger.bandwidth_bits
+        self._drop_plan()
+
+    def close(self) -> None:
+        """Shut the worker pool down and forget the current plan."""
+        self._drop_plan()
+
+    def _drop_plan(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._csr = None
+        self._plan = None
+        self._handlers = None
+        self._colors_view = None
+        self._proposal_view = None
+        self._active_view = None
+        self._synced = None
+        self._never_synced = True
+
+    def _ensure_plan(self, csr: CSRAdjacency) -> ShardPlan:
+        """(Re)build the shard plan, shared state, and worker pool for
+        ``csr``.  Keyed on CSR identity: the coloring layer passes the same
+        CSR object for the whole pipeline, so this runs once per graph."""
+        if self._plan is not None and self._csr is csr:
+            return self._plan
+        self._drop_plan()
+        plan = shard_csr(csr, self.shards)
+        n = max(csr.n_vertices, 1)
+        if self.mode == "fork":
+            colors_buf = multiprocessing.RawArray("q", n)
+            proposal_buf = multiprocessing.RawArray("q", n)
+            active_buf = multiprocessing.RawArray("b", n)
+            self._colors_view = np.frombuffer(colors_buf, dtype=np.int64)
+            self._proposal_view = np.frombuffer(proposal_buf, dtype=np.int64)
+            self._active_view = np.frombuffer(active_buf, dtype=np.int8)
+            handlers = [
+                _make_shard_handler(
+                    shard, self._colors_view, self._proposal_view, self._active_view
+                )
+                for shard in plan.shards
+            ]
+            self._pool = ShardWorkerPool(handlers)
+        else:
+            self._handlers = None  # inline mode gathers from caller arrays
+        while len(self._shard_ledgers) < plan.k:
+            self._shard_ledgers.append(
+                BandwidthLedger(bandwidth_bits=self._cap_bits, dilation=1)
+            )
+        self._csr = csr
+        self._plan = plan
+        self._synced = None
+        self._never_synced = True
+        return plan
+
+    # ---- boundary exchange ---------------------------------------------------
+
+    def _exchange(
+        self,
+        plan: ShardPlan,
+        colors: np.ndarray,
+        proposal_map: np.ndarray | None,
+        touched: np.ndarray,
+    ) -> int:
+        """Account one boundary-color exchange; returns total payload bits.
+
+        ``touched[i]`` marks shards that received work this round; only
+        they are shipped their boundary payload (and charged).  The first
+        exchange after a (re)plan ships each shard its full halo -- the
+        initial distribution -- and later exchanges ship only the halo
+        entries whose color changed since the previous exchange.
+        """
+        if self._synced is None:
+            self._synced = np.full(colors.shape, -3, dtype=np.int64)
+        changed = colors != self._synced
+        total_bits = 0
+        for shard, ledger in zip(plan.shards, self._shard_ledgers):
+            if not touched[shard.index]:
+                continue
+            halo = shard.halo
+            payload = int(halo.size) if self._never_synced else int(
+                np.count_nonzero(changed[halo])
+            )
+            bits = self._color_bits * payload
+            if proposal_map is not None and halo.size:
+                bits += self._color_bits * int(
+                    np.count_nonzero(proposal_map[halo] != NO_PROPOSAL)
+                )
+            ledger.charge(
+                "shard.exchange", bits, rounds_h=1, pipelined=True
+            )
+            total_bits += bits
+        np.copyto(self._synced, colors)
+        self._never_synced = False
+        self._exchanges += 1
+        return total_bits
+
+    def exchange_summary(self) -> dict[str, int]:
+        """Cross-shard traffic totals: per-shard ledger partials merged via
+        ``absorb`` in shard-index order, plus exchange/shard counts."""
+        merged = BandwidthLedger(bandwidth_bits=self._cap_bits, dilation=1)
+        for index, ledger in enumerate(self._shard_ledgers):
+            merged.absorb(ledger.summary(), op=f"shard[{index}]")
+        summary = merged.summary()
+        summary["exchanges"] = self._exchanges
+        summary["shards"] = self.shards
+        summary["mode"] = self.mode
+        return summary
+
+    # ---- dispatch ------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        csr: CSRAdjacency,
+        colors: np.ndarray,
+        vertices: np.ndarray,
+        requests_for,
+        merge_dtype,
+        result_columns: int | None,
+        *,
+        op: str,
+        row_payload: np.ndarray | None = None,
+        proposal_map: np.ndarray | None = None,
+        active_mask: np.ndarray | None = None,
+    ):
+        """Shared scatter/compute/merge skeleton for every kernel op.
+
+        ``requests_for(shard, verts_local, payload_slice)`` builds the
+        per-shard request (``payload_slice`` is the matching slice of
+        ``row_payload``, a per-query-vertex companion array such as the
+        candidate colors).  Per-shard results are collected in
+        shard-index order and scattered back to the caller's query order
+        through the stable owner sort's inverse permutation.
+        """
+        verts = np.asarray(vertices, dtype=np.int64).reshape(-1)
+        plan = self._ensure_plan(csr)
+        owners = plan.owner_of(verts)
+        order = np.argsort(owners, kind="stable")
+        sorted_verts = verts[order]
+        sorted_owners = owners[order]
+        sorted_payload = row_payload[order] if row_payload is not None else None
+        starts = np.searchsorted(sorted_owners, np.arange(plan.k))
+        stops = np.searchsorted(sorted_owners, np.arange(plan.k), side="right")
+        touched = stops > starts
+
+        with self._tracer.span("shard.exchange", op=op, shards=plan.k) as span:
+            bits = self._exchange(plan, colors, proposal_map, touched)
+            span.counter("boundary_bits", bits)
+            span.counter("vertices", int(verts.size))
+
+        if self.mode == "fork":
+            np.copyto(self._colors_view, colors)
+            if proposal_map is not None:
+                np.copyto(self._proposal_view, proposal_map)
+            if active_mask is not None:
+                np.copyto(self._active_view, active_mask.view(np.int8))
+
+        pieces: list[np.ndarray | None] = [None] * plan.k
+        submitted = []
+        for shard in plan.shards:
+            if not touched[shard.index]:
+                continue
+            lo, hi = starts[shard.index], stops[shard.index]
+            verts_local = sorted_verts[lo:hi] - shard.lo
+            payload_slice = (
+                sorted_payload[lo:hi] if sorted_payload is not None else None
+            )
+            request = requests_for(shard, verts_local, payload_slice)
+            if self.mode == "fork":
+                self._pool.submit(shard.index, request)
+                submitted.append(shard.index)
+            else:
+                with self._tracer.span(f"shard.compute[{shard.index}]", op=op):
+                    pieces[shard.index] = self._inline_compute(
+                        shard, request, colors, proposal_map, active_mask
+                    )
+        for index in submitted:
+            with self._tracer.span(f"shard.compute[{index}]", op=op):
+                pieces[index] = self._pool.result(index)
+
+        shape = (verts.size,) if result_columns is None else (
+            verts.size,
+            result_columns,
+        )
+        out = np.empty(shape, dtype=merge_dtype)
+        parts = [pieces[i] for i in range(plan.k) if touched[i]]
+        if parts:
+            out[order] = np.concatenate(parts, axis=0)
+        return out
+
+    def _inline_compute(
+        self,
+        shard: CSRShard,
+        request: tuple,
+        colors: np.ndarray,
+        proposal_map: np.ndarray | None,
+        active_mask: np.ndarray | None,
+    ) -> np.ndarray:
+        """Inline-mode evaluation: gather shard-local views directly from
+        the caller's arrays (no shared memory) and run the same per-shard
+        kernels the forked workers run."""
+        kind = request[0]
+        colors_local = colors[shard.local_to_global]
+        if kind == "conflict":
+            _, verts_local, cands, use_proposals, symmetric = request
+            proposal_local = (
+                proposal_map[shard.local_to_global] if use_proposals else None
+            )
+            return _shard_conflict_mask(
+                shard, colors_local, verts_local, cands, proposal_local, symmetric
+            )
+        if kind == "used":
+            _, verts_local, num_colors = request
+            return batch_used_color_masks(
+                shard.csr, colors_local, verts_local, num_colors
+            )
+        _, verts_local, num_colors, use_active = request
+        active_local = active_mask[shard.local_to_global] if use_active else None
+        return batch_slack_counts(
+            shard.csr, colors_local, verts_local, num_colors, active_mask=active_local
+        )
+
+    # ---- ExecutionBackend ops ------------------------------------------------
+
+    def conflict_mask(
+        self, csr, colors, vertices, candidates, *, proposal_map=None, symmetric=False
+    ):
+        """Sharded :func:`repro.graphcore.batch_conflict_mask` (value-identical)."""
+        verts = np.asarray(vertices, dtype=np.int64).reshape(-1)
+        cands = np.asarray(candidates, dtype=np.int64).reshape(-1)
+        if verts.size == 0:
+            return np.zeros(0, dtype=bool)
+
+        def requests_for(shard, verts_local, cands_slice):
+            return (
+                "conflict",
+                verts_local,
+                cands_slice,
+                proposal_map is not None,
+                symmetric,
+            )
+
+        return self._dispatch(
+            csr,
+            colors,
+            verts,
+            requests_for,
+            bool,
+            None,
+            op="conflict",
+            row_payload=cands,
+            proposal_map=proposal_map,
+        )
+
+    def used_color_masks(self, csr, colors, vertices, num_colors):
+        """Sharded :func:`repro.graphcore.batch_used_color_masks` (value-identical)."""
+        verts = np.asarray(vertices, dtype=np.int64).reshape(-1)
+        if verts.size == 0:
+            return np.zeros((0, num_colors), dtype=bool)
+
+        def requests_for(shard, verts_local, _payload):
+            return ("used", verts_local, num_colors)
+
+        return self._dispatch(
+            csr, colors, verts, requests_for, bool, num_colors, op="used"
+        )
+
+    def slack_counts(self, csr, colors, vertices, num_colors, *, active_mask=None):
+        """Sharded :func:`repro.graphcore.batch_slack_counts` (value-identical)."""
+        verts = np.asarray(vertices, dtype=np.int64).reshape(-1)
+        if verts.size == 0:
+            return np.zeros(0, dtype=np.int64)
+
+        def requests_for(shard, verts_local, _payload):
+            return ("slack", verts_local, num_colors, active_mask is not None)
+
+        return self._dispatch(
+            csr,
+            colors,
+            verts,
+            requests_for,
+            np.int64,
+            None,
+            op="slack",
+            active_mask=active_mask,
+        )

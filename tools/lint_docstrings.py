@@ -32,6 +32,8 @@ DEFAULT_TARGETS = (
     "src/repro/decomposition",
     "src/repro/observe",
     "src/repro/experiments",
+    "src/repro/parallel",
+    "src/repro/network",
 )
 
 FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
