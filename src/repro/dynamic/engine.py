@@ -161,6 +161,14 @@ class DynamicColoring:
         bootstrap coloring and every large-frontier scratch-recolor
         escalation -- exactly the paths where batched kernels dominate.
         Value-identical by the backend contract (docs/PARALLEL.md).
+    metrics:
+        Optional :class:`~repro.observe.metrics.MetricsRegistry`; when
+        bound, every applied batch feeds the live ``stream.*`` instruments
+        (repair-latency histogram, frontier sizes, recolor fractions,
+        escalation/violation counters, palette and liveness gauges).  The
+        registry is fed from the finished :class:`BatchReport` only --
+        values already measured -- so an instrumented run is
+        bitwise-identical to a bare one (same contract as ``tracer``).
     """
 
     def __init__(
@@ -177,6 +185,7 @@ class DynamicColoring:
         verify_each_batch: bool = True,
         tracer=None,
         backend=None,
+        metrics=None,
     ):
         if mode not in ("repair", "scratch"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -184,9 +193,13 @@ class DynamicColoring:
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.mode = mode
         self.backend = backend
+        self.metrics = metrics
         self.escalate_fraction = escalate_fraction
         self.verify_each_batch = verify_each_batch
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # initial graph, kept for reporting static cell fields (sizes,
+        # Delta, dilation at bootstrap); live topology is self.delta
+        self.graph = graph
         self.delta = DeltaCSR(graph.csr, rebuild_fraction=rebuild_fraction)
         self.cluster_sizes = np.asarray(
             [graph.cluster_size(v) for v in range(graph.n_vertices)],
@@ -343,7 +356,35 @@ class DynamicColoring:
         if report.compacted:
             span.counter("compactions", 1)
         self.reports.append(report)
+        if self.metrics is not None:
+            self._observe_batch(report)
         return report
+
+    def _observe_batch(self, report: BatchReport) -> None:
+        """Feed the bound registry from one finished report.
+
+        Reads the report and derived state only -- never the RNG, never
+        the ledger -- so instrumented streams stay bitwise-identical to
+        bare ones (asserted by ``tests/test_service.py``).
+        """
+        m = self.metrics
+        m.counter("stream.batches").inc()
+        m.counter("stream.updates").inc(sum(report.events.values()))
+        m.counter("stream.repaired").inc(report.repaired)
+        m.counter("stream.rounds_h").inc(report.rounds_h)
+        m.counter("stream.message_bits").inc(report.message_bits)
+        if report.escalated:
+            m.counter("stream.escalations").inc()
+        if not report.proper:
+            m.counter("stream.violations").inc()
+        m.histogram("stream.repair_ms").record(report.wall_time_s * 1000.0)
+        m.histogram("stream.frontier", min_value=1.0).record(report.dirty)
+        m.histogram("stream.recolor_fraction", min_value=1e-6).record(
+            report.recolor_fraction
+        )
+        m.gauge("stream.n_alive").set(self.n_alive)
+        m.gauge("stream.delta").set(self.max_degree)
+        m.gauge("stream.num_colors").set(self.num_colors)
 
     def run(self, batches) -> StreamResult:
         """Apply every batch of an iterable; returns the aggregate."""

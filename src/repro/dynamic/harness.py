@@ -3,7 +3,11 @@
 :func:`run_stream` consumes a :class:`~repro.workloads.streams.StreamWorkload`
 through a :class:`~repro.dynamic.engine.DynamicColoring` in either mode and
 returns the artifact-ready metrics dict, so ``repro stream`` and stream
-sweep cells report identical quantities.
+sweep cells report identical quantities.  :func:`summarize_stream` is the
+shared summarization step: the always-on service driver
+(:mod:`repro.serve`) runs its own batch loop but funnels the finished
+engine through the same function, so a served stream and a swept stream
+report byte-identical deterministic metrics.
 """
 
 from __future__ import annotations
@@ -16,6 +20,86 @@ from repro.parallel.backend import ExecutionBackend, make_backend
 from repro.params import AlgorithmParameters
 
 
+def latency_fields(
+    wall_times_s: list[float], total_updates: int, elapsed_s: float
+) -> dict[str, Any]:
+    """Latency/throughput scalars from per-batch wall times.
+
+    One source of truth for the percentile math: ``repro stream``,
+    stream sweep cells, and the service driver all call this, so the
+    ``repair_ms_p*`` a dashboard shows and the one an artifact records
+    can never disagree.  Percentiles are exact (numpy linear
+    interpolation via :func:`repro.observe.metrics.exact_percentiles`);
+    the bounded-error :class:`~repro.observe.metrics.LogHistogram` is
+    for live mergeable views only, never for artifact scalars.
+    """
+    from repro.observe.metrics import exact_percentiles
+
+    fields: dict[str, Any] = {
+        "batch_wall_times_s": [round(t, 6) for t in wall_times_s],
+        "updates_per_sec": (
+            round(total_updates / elapsed_s, 2) if elapsed_s > 0 else 0.0
+        ),
+    }
+    if wall_times_s:
+        pcts = exact_percentiles([t * 1000.0 for t in wall_times_s])
+        fields.update(
+            repair_ms_p50=round(pcts["p50"], 4),
+            repair_ms_p95=round(pcts["p95"], 4),
+            repair_ms_p99=round(pcts["p99"], 4),
+        )
+    return fields
+
+
+def summarize_stream(
+    engine: DynamicColoring, result: StreamResult, batches
+) -> dict[str, Any]:
+    """Artifact-ready metrics dict for a fully consumed stream.
+
+    Covers the static cell fields (sizes, Delta, dilation of the
+    *initial* graph), the stream aggregates, and the per-batch latency
+    fields (:func:`latency_fields`).  Callers layer on whatever only
+    they know: :func:`run_stream` adds bootstrap wall time and backend
+    boundary traffic; the service driver adds queueing-delay and SLO
+    fields.
+    """
+    graph = engine.graph
+    ledger = engine.ledger.summary()
+    alive_colors = engine.colors[engine.delta.alive_mask]
+    wall_times = [r.wall_time_s for r in result.reports]
+    total_updates = sum(len(b) for b in batches)
+    metrics: dict[str, Any] = {
+        "machines": graph.n_machines,
+        "vertices": graph.n_vertices,
+        "delta": graph.max_degree,
+        "dilation": graph.dilation,
+        "bandwidth_cap_bits": engine.ledger.bandwidth_bits,
+        "num_colors": engine.num_colors,
+        "regime_effective": "stream",
+        "rounds_h": ledger["rounds_h"],
+        "rounds_g": ledger["rounds_g"],
+        "total_message_bits": ledger["total_message_bits"],
+        "max_message_bits": ledger["max_message_bits"],
+        "colors_used": len(set(alive_colors.tolist())),
+        "proper": bool(result.all_proper),
+        "fallbacks": result.escalations,
+        "retries": 0,
+        "batches": result.batches,
+        "stream_updates": total_updates,
+        "repaired_vertices": result.total_repaired,
+        "recolor_fraction_mean": result.mean_recolor_fraction,
+        "recolor_fraction_max": result.max_recolor_fraction,
+        "escalations": result.escalations,
+        "violation_batches": sum(1 for r in result.reports if not r.proper),
+        "delta_rebuilds": engine.delta.rebuilds,
+        "stream_wall_time_s": round(result.wall_time_s, 4),
+        "vertices_final": engine.n_alive,
+        "delta_final": engine.max_degree,
+    }
+    metrics.update(latency_fields(wall_times, total_updates, result.wall_time_s))
+    return metrics
+
+
 def run_stream(
     workload,
     *,
@@ -26,12 +110,15 @@ def run_stream(
     tracer=None,
     backend: str | ExecutionBackend | None = None,
     shards: int | None = None,
+    metrics=None,
 ) -> tuple[DynamicColoring, StreamResult, dict[str, Any]]:
     """Bootstrap, absorb every batch, and summarize.
 
     Returns ``(engine, result, metrics)``; ``metrics`` carries the static
     cell fields (sizes, Delta, dilation of the *initial* graph) plus the
-    stream-specific ones.  ``wall_time_s`` inside the metrics covers only
+    stream-specific ones, including ``batch_wall_times_s`` (every batch's
+    measured repair wall time) and the exact ``repair_ms_p50/p95/p99``
+    derived from them.  ``wall_time_s`` inside the metrics covers only
     the batch loop (``stream_wall_time_s``); the sweep runner separately
     records whole-cell wall time, which additionally includes workload
     generation and the bootstrap coloring (identical for both modes).
@@ -41,6 +128,10 @@ def run_stream(
     pipeline delegations (bootstrap + scratch escalations); every metric
     is backend-invariant by contract, and a sharded run adds its real
     boundary-traffic totals (``boundary_bits`` et al.) to ``metrics``.
+    ``metrics`` (a :class:`~repro.observe.metrics.MetricsRegistry`,
+    optional) binds a live registry to the engine; it is fed from
+    finished batch reports only, so passing one cannot change any
+    reported value.
     """
     graph = workload.graph
     batches = getattr(workload, "batches", None)
@@ -70,49 +161,22 @@ def run_stream(
         verify_each_batch=verify_each_batch,
         tracer=tracer,
         backend=exec_backend,
+        metrics=metrics,
     )
     bootstrap_s = time.perf_counter() - bootstrap_start
     result = engine.run(batches)
-    ledger = engine.ledger.summary()
-    alive_colors = engine.colors[engine.delta.alive_mask]
-    metrics: dict[str, Any] = {
-        "machines": graph.n_machines,
-        "vertices": graph.n_vertices,
-        "delta": graph.max_degree,
-        "dilation": graph.dilation,
-        "bandwidth_cap_bits": engine.ledger.bandwidth_bits,
-        "num_colors": engine.num_colors,
-        "regime_effective": "stream",
-        "rounds_h": ledger["rounds_h"],
-        "rounds_g": ledger["rounds_g"],
-        "total_message_bits": ledger["total_message_bits"],
-        "max_message_bits": ledger["max_message_bits"],
-        "colors_used": len(set(alive_colors.tolist())),
-        "proper": bool(result.all_proper),
-        "fallbacks": result.escalations,
-        "retries": 0,
-        "batches": result.batches,
-        "stream_updates": sum(len(b) for b in batches),
-        "repaired_vertices": result.total_repaired,
-        "recolor_fraction_mean": result.mean_recolor_fraction,
-        "recolor_fraction_max": result.max_recolor_fraction,
-        "escalations": result.escalations,
-        "delta_rebuilds": engine.delta.rebuilds,
-        "bootstrap_wall_time_s": round(bootstrap_s, 4),
-        "stream_wall_time_s": round(result.wall_time_s, 4),
-        "vertices_final": engine.n_alive,
-        "delta_final": engine.max_degree,
-    }
+    summary = summarize_stream(engine, result, batches)
+    summary["bootstrap_wall_time_s"] = round(bootstrap_s, 4)
     if exec_backend is not None:
-        summary = exec_backend.exchange_summary()
-        if summary:
-            metrics.update(
+        exchange = exec_backend.exchange_summary()
+        if exchange:
+            summary.update(
                 backend="sharded",
-                backend_mode=summary.get("mode"),
-                backend_shards=summary.get("shards"),
-                boundary_bits=summary.get("total_message_bits", 0),
-                boundary_exchanges=summary.get("exchanges", 0),
+                backend_mode=exchange.get("mode"),
+                backend_shards=exchange.get("shards"),
+                boundary_bits=exchange.get("total_message_bits", 0),
+                boundary_exchanges=exchange.get("exchanges", 0),
             )
         if owns_backend:
             exec_backend.close()
-    return engine, result, metrics
+    return engine, result, summary

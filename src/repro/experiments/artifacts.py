@@ -64,6 +64,26 @@ METRIC_FIELDS = (
     "stream_wall_time_s",
     "vertices_final",
     "delta_final",
+    # latency/throughput extras every stream and service cell carries; see
+    # repro.dynamic.harness.latency_fields
+    "violation_batches",
+    "repair_ms_p50",
+    "repair_ms_p95",
+    "repair_ms_p99",
+    "updates_per_sec",
+    # service-cell extras (blank for plain stream cells); see
+    # repro.serve.driver.ColoringService.collect
+    "arrival_profile",
+    "arrival_rate",
+    "queue_ms_p50",
+    "queue_ms_p95",
+    "queue_ms_p99",
+    "latency_ms_p50",
+    "latency_ms_p95",
+    "latency_ms_p99",
+    "trace_duration_s",
+    "slo_pass",
+    "slo_failed",
 )
 
 
@@ -230,8 +250,9 @@ def to_csv(artifact: Artifact, path: str | pathlib.Path) -> pathlib.Path:
 
 # ---- aggregation -----------------------------------------------------------
 
-#: Metrics summarized by :func:`summarize`.  The stream pair appears blank
-#: for one-shot cells (their records never carry those metrics).
+#: Metrics summarized by :func:`summarize`.  The stream/service extras
+#: appear blank for one-shot cells (their records never carry those
+#: metrics).
 SUMMARY_METRICS = (
     "rounds_h",
     "rounds_g",
@@ -239,6 +260,8 @@ SUMMARY_METRICS = (
     "wall_time_s",
     "stream_wall_time_s",
     "recolor_fraction_mean",
+    "repair_ms_p99",
+    "updates_per_sec",
 )
 
 #: ``workload_kwargs`` is part of the default grouping: size-sweep suites

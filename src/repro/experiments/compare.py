@@ -26,6 +26,9 @@ DEFAULT_TOLERANCES: dict[str, float] = {
     "rounds_g": 0.05,
     "total_message_bits": 0.05,
     "colors_used": 0.0,
+    # deterministic service/stream correctness: a batch that ends improper
+    # is a hard regression regardless of machine speed
+    "violation_batches": 0.0,
 }
 
 
@@ -130,6 +133,12 @@ GATEABLE_METRICS = frozenset(
         "recolor_fraction_mean",
         "recolor_fraction_max",
         "escalations",
+        # service cells (repro.serve): properness-over-the-trace is
+        # deterministic and therefore gateable; latency percentiles and
+        # updates/sec are wall-derived and deliberately NOT listed here --
+        # they are SLO material, not compare gates
+        "violation_batches",
+        "slo_failed",
     }
 )
 

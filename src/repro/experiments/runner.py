@@ -41,7 +41,13 @@ from repro.baselines import (
 import repro.coloring.polylog  # noqa: F401  (lazily imported by the pipeline)
 from repro.dynamic import run_stream
 from repro.experiments import artifacts
-from repro.experiments.spec import Cell, ScenarioSpec, STREAM_ALGORITHMS
+from repro.experiments.spec import (
+    Cell,
+    ScenarioSpec,
+    SERVICE_ALGORITHMS,
+    STREAM_ALGORITHMS,
+)
+from repro.serve import run_service
 from repro.observe.tracer import Tracer
 from repro.parallel.backend import BACKEND_ENV_VAR, ExecutionBackend
 from repro.parallel.pool import (
@@ -81,9 +87,12 @@ def _params(cell: Cell):
     raise ValueError(f"unknown params preset {cell.params!r}")
 
 
-#: Algorithms that accept a tracer (the paper pipeline and the stream
-#: engine); baselines stay untraced -- they have no ledger stages to span.
-TRACEABLE_ALGORITHMS = {"paper"} | set(STREAM_ALGORITHMS)
+#: Algorithms that accept a tracer (the paper pipeline, the stream engine,
+#: and the service driver); baselines stay untraced -- they have no ledger
+#: stages to span.
+TRACEABLE_ALGORITHMS = (
+    {"paper"} | set(STREAM_ALGORITHMS) | set(SERVICE_ALGORITHMS)
+)
 
 
 def _boundary_metrics(summary: dict[str, Any] | None) -> dict[str, Any]:
@@ -135,7 +144,17 @@ def _execute(
         "bandwidth_cap_bits": params.bandwidth_bits(graph.n_machines),
         "num_colors": graph.max_degree + 1,
     }
-    if cell.algorithm in STREAM_ALGORITHMS:
+    if cell.algorithm in SERVICE_ALGORITHMS:
+        _service, service_metrics = run_service(
+            workload,
+            params=params,
+            seed=cell.seed,
+            tracer=tracer,
+            backend=backend,
+            shards=shards,
+        )
+        metrics.update(service_metrics)
+    elif cell.algorithm in STREAM_ALGORITHMS:
         _engine, _result, stream_metrics = run_stream(
             workload,
             params=params,

@@ -10,6 +10,10 @@ contract that makes the subsystem trustworthy:
   ledger, same RNG end state; tested in ``tests/test_observe.py``);
 - the default :data:`~repro.observe.tracer.NULL_TRACER` makes the whole
   layer a single no-op method call when tracing is off;
+- live metrics (:mod:`repro.observe.metrics`) follow the same neutrality
+  contract: a :class:`~repro.observe.metrics.MetricsRegistry` is fed
+  *measured values* from finished batch reports, so an instrumented
+  service run is bitwise-identical to a bare one;
 - history reporting (:mod:`repro.observe.history`) is *report-only*: it
   flags soft wall-time regressions across commits but never gates
   (``repro compare`` on metrics is the gate).
@@ -23,15 +27,26 @@ from repro.observe.history import (
     DEFAULT_MIN_SECONDS,
     DEFAULT_THRESHOLD,
     HISTORY_DIR,
+    ServiceDrift,
     Slowdown,
     append_entry,
+    detect_service_drift,
     detect_slowdowns,
     entry_from_artifact,
     history_path,
     list_suites,
     load_history,
     render_history,
+    service_trend_rows,
     trend_rows,
+)
+from repro.observe.metrics import (
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+    WindowedSeries,
+    exact_percentiles,
 )
 from repro.observe.tracer import (
     NULL_TRACER,
@@ -51,7 +66,16 @@ __all__ = [
     "aggregate_stage_rows",
     "cell_label",
     "print_timings",
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "MetricsRegistry",
+    "WindowedSeries",
+    "exact_percentiles",
     "Slowdown",
+    "ServiceDrift",
+    "detect_service_drift",
+    "service_trend_rows",
     "entry_from_artifact",
     "append_entry",
     "load_history",

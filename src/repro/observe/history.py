@@ -17,11 +17,20 @@ remains the metric gate).  Entry schema::
      "created_utc": ..., "total_wall_time_s": ...,
      "cells": [{"key": ..., "label": ..., "status": ...,
                 "wall_time_s": ..., "stages": {name: {"wall_time_s": ...,
-                "rounds_h": ..., "rounds_g": ..., "message_bits": ...}}}]}
+                "rounds_h": ..., "rounds_g": ..., "message_bits": ...}},
+                "service": {"repair_ms_p50": ..., "repair_ms_p95": ...,
+                "repair_ms_p99": ..., "updates_per_sec": ...,
+                "queue_ms_p99": ..., "violation_batches": ...,
+                "slo_pass": ...}}]}
 
 ``stages`` is present only for cells that carried a ``trace`` section
 (``repro sweep --trace``); its names are the top-level span names of
-:mod:`repro.observe.tracer`.
+:mod:`repro.observe.tracer`.  ``service`` is present only for cells whose
+metrics carried latency percentiles (stream and service cells) -- an
+*additive* extension, so version-1 entries written before it existed
+still load and render.  Service drift detection mirrors the wall-time
+soft regressions: ``repair_ms_p99`` rising or ``updates_per_sec``
+falling against the recent median is flagged, report-only.
 """
 
 from __future__ import annotations
@@ -73,6 +82,31 @@ def _stage_breakdown(trace: dict[str, Any] | None) -> dict[str, Any] | None:
     return stages or None
 
 
+#: Metrics lifted from a cell's metrics dict into its history ``service``
+#: sub-dict (when present): the latency/throughput scalars the service
+#: trend report tracks across commits.
+SERVICE_HISTORY_METRICS = (
+    "repair_ms_p50",
+    "repair_ms_p95",
+    "repair_ms_p99",
+    "updates_per_sec",
+    "queue_ms_p99",
+    "latency_ms_p99",
+    "violation_batches",
+    "slo_pass",
+)
+
+
+def _service_fields(metrics: dict[str, Any] | None) -> dict[str, Any] | None:
+    """The service sub-dict of one cell (None when the cell has no
+    latency percentiles -- one-shot cells)."""
+    if not metrics or metrics.get("repair_ms_p99") is None:
+        return None
+    return {
+        k: metrics[k] for k in SERVICE_HISTORY_METRICS if metrics.get(k) is not None
+    }
+
+
 def entry_from_artifact(artifact: Artifact) -> dict[str, Any]:
     """Convert one sweep artifact into a history entry (no I/O)."""
     header = artifact.header
@@ -89,6 +123,9 @@ def entry_from_artifact(artifact: Artifact) -> dict[str, Any]:
         stages = _stage_breakdown(record.get("trace"))
         if stages:
             cell["stages"] = stages
+        service = _service_fields(record.get("metrics"))
+        if service:
+            cell["service"] = service
         cells.append(cell)
         if record.get("status") == "ok" and wall is not None:
             total += float(wall)
@@ -248,6 +285,154 @@ def detect_slowdowns(
     return flags
 
 
+@dataclass
+class ServiceDrift:
+    """One flagged service-metric drift: a cell whose latest latency
+    percentile rose (or throughput fell) against the recent median.
+    Report-only, like :class:`Slowdown` -- wall-derived metrics never
+    gate."""
+
+    label: str
+    metric: str  #: e.g. ``repair_ms_p99`` or ``updates_per_sec``
+    baseline: float  #: median over the preceding entries
+    latest: float
+    commits: int
+    direction: str  #: ``"up"`` (higher is worse) or ``"down"`` (lower is worse)
+
+    @property
+    def relative(self) -> float:
+        """Fractional drift of latest against baseline, signed so that
+        positive always means worse."""
+        if self.baseline <= 0:
+            return float("inf") if self.latest > 0 and self.direction == "up" else 0.0
+        change = self.latest / self.baseline - 1.0
+        return change if self.direction == "up" else -change
+
+
+def _service_series(
+    entries: list[dict[str, Any]], metric: str
+) -> dict[str, list[float | None]]:
+    """Per-cell series of one service metric across entries, keyed by cell
+    label (None where the cell is missing, failed, or pre-service)."""
+    series: dict[str, list[float | None]] = {}
+    labels: dict[str, str] = {}
+    for i, entry in enumerate(entries):
+        for cell in entry.get("cells", ()):
+            service = cell.get("service")
+            if service is None:
+                continue
+            key = cell.get("key") or cell.get("label")
+            labels[key] = cell.get("label", key)
+            column = series.setdefault(key, [None] * i)
+            value = service.get(metric)
+            column.append(
+                float(value)
+                if cell.get("status") == "ok" and value is not None
+                else None
+            )
+        for column in series.values():
+            while len(column) <= i:
+                column.append(None)
+    return {labels.get(k, k): v for k, v in series.items()}
+
+
+#: Service metrics drift detection watches, with the direction that is
+#: worse: p99 repair latency rising, sustained throughput falling.
+SERVICE_DRIFT_METRICS = (
+    ("repair_ms_p99", "up"),
+    ("updates_per_sec", "down"),
+)
+
+
+def detect_service_drift(
+    entries: list[dict[str, Any]],
+    *,
+    last_n: int = 10,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[ServiceDrift]:
+    """Flag service cells whose latency p99 rose or throughput fell beyond
+    ``threshold`` against the median of the preceding entries.  Same
+    median-of-recent-history shape as :func:`detect_slowdowns`; needs at
+    least two entries with service data; report-only by contract."""
+    if len(entries) < 2:
+        return []
+    window = entries[-last_n:]
+    flags: list[ServiceDrift] = []
+    for metric, direction in SERVICE_DRIFT_METRICS:
+        for label, column in _service_series(window, metric).items():
+            latest = column[-1]
+            prior = [v for v in column[:-1] if v is not None]
+            if latest is None or not prior:
+                continue
+            baseline = statistics.median(prior)
+            if baseline <= 0:
+                continue
+            change = latest / baseline - 1.0
+            drifted = (
+                change > threshold if direction == "up" else change < -threshold
+            )
+            if drifted:
+                flags.append(
+                    ServiceDrift(
+                        label=label,
+                        metric=metric,
+                        baseline=baseline,
+                        latest=latest,
+                        commits=len(prior),
+                        direction=direction,
+                    )
+                )
+    flags.sort(key=lambda d: d.relative, reverse=True)
+    return flags
+
+
+def service_trend_rows(
+    entries: list[dict[str, Any]], *, last_n: int = 10
+) -> list[dict[str, Any]]:
+    """Table-ready per-cell service trend over the last ``last_n`` entries:
+    latest p50/p95/p99 repair latency, sustained updates/sec with its
+    baseline median, and the SLO verdict.  Empty when no entry carries
+    service data (pre-service history files)."""
+    window = entries[-last_n:]
+    latest_entry = window[-1] if window else {}
+    p99_series = _service_series(window, "repair_ms_p99")
+    ups_series = _service_series(window, "updates_per_sec")
+    latest_cells = {
+        (c.get("label") or c.get("key")): c
+        for c in latest_entry.get("cells", ())
+        if c.get("service") is not None
+    }
+    rows = []
+    for label, cell in sorted(latest_cells.items()):
+        service = cell["service"]
+        ups_column = ups_series.get(label, [])
+        ups_prior = [v for v in ups_column[:-1] if v is not None]
+        p99_column = p99_series.get(label, [])
+        p99_prior = [v for v in p99_column[:-1] if v is not None]
+        rows.append(
+            {
+                "cell": label,
+                "p50_ms": service.get("repair_ms_p50", ""),
+                "p95_ms": service.get("repair_ms_p95", ""),
+                "p99_ms": service.get("repair_ms_p99", ""),
+                "p99_baseline_ms": (
+                    f"{statistics.median(p99_prior):.3f}" if p99_prior else ""
+                ),
+                "updates_per_sec": service.get("updates_per_sec", ""),
+                "ups_baseline": (
+                    f"{statistics.median(ups_prior):.1f}" if ups_prior else ""
+                ),
+                "violations": service.get("violation_batches", ""),
+                "slo": (
+                    ""
+                    if service.get("slo_pass") is None
+                    else ("ok" if service.get("slo_pass") else "FAIL")
+                ),
+            }
+        )
+    return rows
+
+
 def trend_rows(
     entries: list[dict[str, Any]], *, last_n: int = 10
 ) -> list[dict[str, Any]]:
@@ -307,6 +492,10 @@ def render_history(
         f"commits: {commits}",
         format_table(trend_rows(entries, last_n=last_n)),
     ]
+    service_rows = service_trend_rows(entries, last_n=last_n)
+    if service_rows:
+        lines.append("service trend (latency in ms, throughput in updates/s):")
+        lines.append(format_table(service_rows))
     slowdowns = detect_slowdowns(
         entries, last_n=last_n, threshold=threshold, min_seconds=min_seconds
     )
@@ -316,14 +505,23 @@ def render_history(
             f"{s.latest_s:.3f}s ({s.relative:+.1%} vs median of "
             f"{s.commits} entr{'y' if s.commits == 1 else 'ies'})"
         )
-    if not slowdowns:
+    drifts = detect_service_drift(entries, last_n=last_n, threshold=threshold)
+    for d in drifts:
+        arrow = "rose" if d.direction == "up" else "fell"
+        lines.append(
+            f"SERVICE DRIFT {d.label}: {d.metric} {arrow} "
+            f"{d.baseline:.3f} -> {d.latest:.3f} ({d.relative:+.1%} worse "
+            f"vs median of {d.commits} entr{'y' if d.commits == 1 else 'ies'})"
+        )
+    flagged = len(slowdowns) + len(drifts)
+    if not flagged:
         lines.append(
             f"no soft regressions (threshold {threshold:.0%} + "
             f"{min_seconds * 1000:.0f}ms floor; report-only, never gates)"
         )
     else:
         lines.append(
-            f"{len(slowdowns)} soft regression(s) flagged "
+            f"{flagged} soft regression(s)/drift(s) flagged "
             "(report-only, never gates)"
         )
     return "\n".join(lines)

@@ -150,7 +150,16 @@ class TestRunner:
         )
         plain = run_cell(stream_cell.to_dict())
         traced = run_cell(stream_cell.to_dict(), None, True)
-        wall_keys = {"bootstrap_wall_time_s", "stream_wall_time_s"}
+        wall_keys = {
+            "bootstrap_wall_time_s",
+            "stream_wall_time_s",
+            # per-batch latency fields are wall-derived too
+            "batch_wall_times_s",
+            "updates_per_sec",
+            "repair_ms_p50",
+            "repair_ms_p95",
+            "repair_ms_p99",
+        }
         assert {k: v for k, v in traced["metrics"].items() if k not in wall_keys} \
             == {k: v for k, v in plain["metrics"].items() if k not in wall_keys}
         names = [s["name"] for s in traced["trace"]["spans"]]

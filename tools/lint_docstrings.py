@@ -31,6 +31,7 @@ DEFAULT_TARGETS = (
     "src/repro/sketch",
     "src/repro/decomposition",
     "src/repro/observe",
+    "src/repro/serve",
     "src/repro/experiments",
     "src/repro/parallel",
     "src/repro/network",
