@@ -34,6 +34,11 @@ Commands
 ``cells``
     Per-cell wall-time table of sweep artifacts (the in-CLI spelling of
     ``tools/print_cell_times.py``).
+``fuzz``
+    Cost-guided pathological-instance fuzzing (docs/FUZZING.md):
+    ``run`` a time-boxed campaign (report-only), ``list`` the corpus,
+    ``replay`` entries bitwise (exit 1 on mismatch), ``promote`` finds
+    into the pinned ``pathology`` suite.
 """
 
 from __future__ import annotations
@@ -596,6 +601,146 @@ def _cmd_compare(args) -> int:
     return report.exit_code
 
 
+def _fuzz_entry_row(entry: dict) -> dict:
+    return {
+        "id": entry["id"],
+        "generator": entry["generator"],
+        "objective": entry["objective"],
+        "score": entry["score"],
+        "norm": "inf" if entry["norm"] is None else round(entry["norm"], 2),
+        "minimized": entry["minimized"],
+        "digest": entry.get("metrics", {}).get("coloring_digest", "-"),
+    }
+
+
+def _fuzz_dirs(args) -> object:
+    """The corpus directory a fuzz subcommand operates on."""
+    from repro.experiments.spec import PATHOLOGY_DIR
+    from repro.fuzz import CORPUS_DIR
+
+    if getattr(args, "pathologies", False):
+        return PATHOLOGY_DIR
+    return args.corpus or CORPUS_DIR
+
+
+def _cmd_fuzz_run(args) -> int:
+    from repro.fuzz import FuzzConfig, make_entry, run_fuzz, save_entry
+
+    if args.iters is None and args.budget is None:
+        raise SystemExit("repro: fuzz run needs --budget or --iters")
+    generators = tuple(
+        g.strip() for g in (args.generators or "").split(",") if g.strip()
+    )
+    config = FuzzConfig(
+        objective=args.objective,
+        generators=generators,
+        root_seed=args.seed,
+        iters=args.iters,
+        budget_s=args.budget,
+        margin=args.margin,
+        cell_timeout_s=args.timeout,
+        minimize=not args.no_minimize,
+    )
+    emit = (lambda _line: None) if args.quiet else print
+    try:
+        report = run_fuzz(config, progress=emit)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}") from exc
+    paths = []
+    for find in report.finds:
+        entry = make_entry(find, report.objective, report.root_seed)
+        paths.append(save_entry(entry, args.corpus))
+    if args.json:
+        payload = report.to_dict()
+        for find in payload["finds"]:
+            find.pop("record", None)  # bulky; the corpus entry has the snapshot
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"fuzz: objective={report.objective} seed={report.root_seed} "
+        f"iterations={report.iterations} evaluations={report.evaluations} "
+        f"finds={len(report.finds)}"
+    )
+    if report.skipped_generators:
+        print(f"skipped (unscorable): {', '.join(report.skipped_generators)}")
+    if report.finds:
+        rows = []
+        for find, path in zip(report.finds, paths):
+            norm = find["norm"]
+            rows.append(
+                {
+                    "generator": find["generator"],
+                    "norm": "inf" if norm is None else round(norm, 2),
+                    "score": find["score"],
+                    "baseline": find["baseline_score"],
+                    "weight": find["weight"],
+                    "entry": path.name,
+                }
+            )
+        print(format_table(rows))
+        print(f"corpus: {paths[0].parent}")
+    # report-only by design: finds are discoveries, not failures
+    return 0
+
+
+def _cmd_fuzz_list(args) -> int:
+    from repro.fuzz import load_entries
+
+    entries = load_entries(_fuzz_dirs(args))
+    if args.json:
+        print(json.dumps([e for _, e in entries], indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print(f"no corpus entries under {_fuzz_dirs(args)}")
+        return 0
+    print(format_table([_fuzz_entry_row(e) for _, e in entries]))
+    return 0
+
+
+def _cmd_fuzz_replay(args) -> int:
+    from repro.fuzz import load_entries, replay_entry, resolve_entry
+
+    directory = _fuzz_dirs(args)
+    if args.all:
+        targets = load_entries(directory)
+        if not targets:
+            raise SystemExit(f"repro: no corpus entries under {directory}")
+    elif args.entries:
+        try:
+            targets = [resolve_entry(ref, directory) for ref in args.entries]
+        except ValueError as exc:
+            raise SystemExit(f"repro: {exc}") from exc
+    else:
+        raise SystemExit("repro: fuzz replay needs entry ids or --all")
+    failures = 0
+    for path, entry in targets:
+        verdict = replay_entry(entry, timeout_s=args.timeout)
+        status = "ok" if verdict["ok"] else "MISMATCH"
+        detail = (
+            f"score_ok={verdict['score_ok']} digest_ok={verdict['digest_ok']}"
+        )
+        print(f"{entry['id']}: {status}  score={verdict['score']} {detail}")
+        if not verdict["ok"]:
+            failures += 1
+    if failures:
+        print(f"{failures}/{len(targets)} entries failed to reproduce")
+    return 1 if failures else 0
+
+
+def _cmd_fuzz_promote(args) -> int:
+    from repro.fuzz import promote_entry, resolve_entry
+
+    for ref in args.entries:
+        try:
+            _path, entry = resolve_entry(ref, args.corpus)
+        except ValueError as exc:
+            raise SystemExit(f"repro: {exc}") from exc
+        dest = promote_entry(entry, args.dest)
+        print(f"promoted {entry['id']} -> {dest}")
+    print("promoted cells join the 'pathology' suite on next import")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -815,6 +960,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cells.add_argument("artifacts", nargs="+")
     p_cells.set_defaults(func=_cmd_cells)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="cost-guided pathological-instance fuzzing"
+    )
+    fuzz_sub = p_fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    def add_corpus_arg(p):
+        p.add_argument(
+            "--corpus", default=None,
+            help="corpus directory (default: benchmarks/fuzz_corpus)",
+        )
+
+    p_frun = fuzz_sub.add_parser(
+        "run", help="time-boxed fuzz campaign (report-only, always exit 0)"
+    )
+    p_frun.add_argument(
+        "--objective", default="rounds",
+        help="cost to maximize: rounds, bits, recolor, escalations, wall, "
+        "or trace:<section>[:bits|rounds|wall] (e.g. trace:acd.buddy:bits)",
+    )
+    p_frun.add_argument(
+        "--generators", default=None, metavar="G1,G2",
+        help="comma-separated generator subset (default: all fuzzable)",
+    )
+    p_frun.add_argument("--seed", type=int, default=0, help="root seed")
+    p_frun.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; iteration k is deterministic in the root "
+        "seed, the budget only decides how many run",
+    )
+    p_frun.add_argument(
+        "--iters", type=int, default=None,
+        help="exact iteration count (overrides --budget; fully deterministic)",
+    )
+    p_frun.add_argument(
+        "--margin", type=float, default=1.25,
+        help="normalized-score threshold for a find (times the baseline)",
+    )
+    p_frun.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-candidate cell budget in seconds",
+    )
+    p_frun.add_argument(
+        "--no-minimize", action="store_true",
+        help="record finds as discovered, skip the greedy shrink",
+    )
+    p_frun.add_argument("--json", action="store_true")
+    p_frun.add_argument("--quiet", action="store_true", help="no progress stream")
+    add_corpus_arg(p_frun)
+    p_frun.set_defaults(func=_cmd_fuzz_run)
+
+    p_flist = fuzz_sub.add_parser("list", help="list corpus entries")
+    p_flist.add_argument(
+        "--pathologies", action="store_true",
+        help="list the pinned pathology suite instead of the working corpus",
+    )
+    p_flist.add_argument("--json", action="store_true")
+    add_corpus_arg(p_flist)
+    p_flist.set_defaults(func=_cmd_fuzz_list)
+
+    p_freplay = fuzz_sub.add_parser(
+        "replay", help="re-run entries, gate score + coloring digest (exit 1 on mismatch)"
+    )
+    p_freplay.add_argument(
+        "entries", nargs="*", help="entry ids, id prefixes, or paths"
+    )
+    p_freplay.add_argument("--all", action="store_true", help="replay every entry")
+    p_freplay.add_argument(
+        "--pathologies", action="store_true",
+        help="replay the pinned pathology entries instead of the working corpus",
+    )
+    p_freplay.add_argument(
+        "--timeout", type=float, default=60.0, help="per-entry cell budget"
+    )
+    add_corpus_arg(p_freplay)
+    p_freplay.set_defaults(func=_cmd_fuzz_replay)
+
+    p_fpromote = fuzz_sub.add_parser(
+        "promote", help="pin corpus entries into the pathology suite"
+    )
+    p_fpromote.add_argument("entries", nargs="+", help="entry ids or paths")
+    p_fpromote.add_argument(
+        "--dest", default=None,
+        help="target directory (default: benchmarks/pathologies)",
+    )
+    add_corpus_arg(p_fpromote)
+    p_fpromote.set_defaults(func=_cmd_fuzz_promote)
     return parser
 
 

@@ -51,6 +51,7 @@ METRIC_FIELDS = (
     "proper",
     "fallbacks",
     "retries",
+    "coloring_digest",
     # stream-cell extras (blank for one-shot cells); see
     # repro.dynamic.harness.run_stream
     "batches",

@@ -19,6 +19,7 @@ sweep hits one pathological instance.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pathlib
 import signal
@@ -77,6 +78,19 @@ def _build_workload(cell: Cell):
     maker = GENERATORS[cell.workload]
     rng = np.random.default_rng(cell.instance_seed)
     return maker(rng, **dict(cell.workload_kwargs))
+
+
+def coloring_digest(colors: Any) -> str:
+    """Short stable fingerprint of a color assignment.
+
+    SHA-256 over the contiguous int64 byte stream, truncated to 16 hex
+    chars.  Used by the fuzzer's replay check and the pathology suite to
+    pin *which* coloring a cell produced, not just its aggregate metrics;
+    compare only gates tolerance-listed metrics, so adding this string to
+    every record cannot perturb any existing gate.
+    """
+    arr = np.ascontiguousarray(np.asarray(colors, dtype=np.int64))
+    return hashlib.sha256(arr.tobytes()).hexdigest()[:16]
 
 
 def _params(cell: Cell):
@@ -154,6 +168,11 @@ def _execute(
             shards=shards,
         )
         metrics.update(service_metrics)
+        if _service.engine is not None:
+            engine = _service.engine
+            metrics["coloring_digest"] = coloring_digest(
+                engine.colors[engine.delta.alive_mask]
+            )
     elif cell.algorithm in STREAM_ALGORITHMS:
         _engine, _result, stream_metrics = run_stream(
             workload,
@@ -165,6 +184,9 @@ def _execute(
             shards=shards,
         )
         metrics.update(stream_metrics)
+        metrics["coloring_digest"] = coloring_digest(
+            _engine.colors[_engine.delta.alive_mask]
+        )
     elif cell.algorithm == "paper":
         result = color_cluster_graph(
             graph,
@@ -185,6 +207,7 @@ def _execute(
             proper=bool(result.proper),
             fallbacks=int(sum(result.stats.fallbacks.values())),
             retries=int(sum(result.stats.retries.values())),
+            coloring_digest=coloring_digest(result.colors),
             **_boundary_metrics(result.backend_summary),
         )
     else:
@@ -208,6 +231,7 @@ def _execute(
             proper=bool(result.proper),
             fallbacks=int(result.fallback_vertices),
             retries=0,
+            coloring_digest=coloring_digest(result.colors),
         )
     return metrics
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -159,9 +160,17 @@ class ScenarioSpec:
     instance_seeds: tuple[int, ...] = (0,)
     #: Suggested per-cell wall-clock budget (the runner's default timeout).
     cell_timeout_s: float = 120.0
+    #: Explicit cell list escape hatch for suites that are not grids --
+    #: the ``pathology`` suite's cells come from individually promoted
+    #: fuzzer finds, each with its own seeds and kwargs, so no cross
+    #: product describes them.  When non-empty, the grid axes above are
+    #: ignored and :meth:`cells` returns exactly these.
+    fixed_cells: tuple[Cell, ...] = ()
 
     def cells(self) -> list[Cell]:
         """Expand the grid, in deterministic order."""
+        if self.fixed_cells:
+            return list(self.fixed_cells)
         return list(self._iter_cells())
 
     def _iter_cells(self) -> Iterator[Cell]:
@@ -693,6 +702,59 @@ _register(
         cell_timeout_s=300.0,
     )
 )
+
+# ---------------------------------------------------------------------------
+# The pathology suite: pinned fuzzer finds (benchmarks/pathologies/).
+#
+# Each JSON file under PATHOLOGY_DIR is one promoted corpus entry from
+# ``repro fuzz promote`` (schema "repro.fuzz", see docs/FUZZING.md) whose
+# ``cell`` field is a ready-to-run cell dict.  Loading here -- rather than
+# in repro.fuzz -- keeps the dependency one-way (fuzz imports experiments)
+# while making every promoted blow-up a first-class suite runnable through
+# sweep/compare/history like any grid suite.
+# ---------------------------------------------------------------------------
+
+#: Where promoted pathology entries live, next to benchmarks/history/.
+PATHOLOGY_DIR = (
+    pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "pathologies"
+)
+
+
+def pathology_suite(
+    directory: str | pathlib.Path | None = None,
+) -> ScenarioSpec | None:
+    """Build the ``pathology`` suite from promoted fuzzer finds.
+
+    Reads every ``*.json`` entry under ``directory`` (default:
+    :data:`PATHOLOGY_DIR`) in filename order and pins its recorded cell,
+    re-labelled into the ``pathology`` suite.  Returns ``None`` when the
+    directory holds no entries (fresh checkouts without promoted finds),
+    so callers can skip registration instead of exposing an empty suite.
+    """
+    directory = pathlib.Path(directory) if directory else PATHOLOGY_DIR
+    if not directory.is_dir():
+        return None
+    cells: list[Cell] = []
+    for path in sorted(directory.glob("*.json")):
+        entry = json.loads(path.read_text())
+        cells.append(Cell.from_dict({**entry["cell"], "suite": "pathology"}))
+    if not cells:
+        return None
+    return ScenarioSpec(
+        name="pathology",
+        description=(
+            "Pinned fuzzer-discovered pathological instances "
+            "(promoted via `repro fuzz promote`; see docs/FUZZING.md)"
+        ),
+        fixed_cells=tuple(cells),
+        cell_timeout_s=300.0,
+    )
+
+
+_pathology_spec = pathology_suite()
+if _pathology_spec is not None:
+    _register(_pathology_spec)
+
 
 _register(
     ScenarioSpec(

@@ -1,0 +1,284 @@
+"""The time-boxed, cost-guided fuzz loop.
+
+Every candidate is one mutation of a parent parameter set, run through
+the ordinary :func:`repro.experiments.runner.run_cell` path with tracing
+on, and scored by the configured objective **normalized against the
+generator's baseline cell** (the small :data:`DEFAULT_BASES` instance,
+evaluated once up front).  Candidates scoring at or above the margin are
+greedily minimized (:mod:`repro.fuzz.minimize`) and recorded as finds;
+their parameter sets join the parent pool, so the search walks toward
+expensive regions instead of sampling blindly.
+
+Determinism under a wall-clock budget: iteration ``k`` draws all its
+randomness from ``np.random.default_rng([root_seed, k])`` and parent
+selection depends only on the finds of iterations ``< k``, so two runs
+with the same root seed agree exactly on every iteration they both
+execute -- the budget only decides how far the shared sequence gets.
+``iters`` pins the exact stopping point when bitwise-identical reports
+matter (tests, corpus regeneration).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.experiments.runner import run_cell
+from repro.fuzz.minimize import minimize_find, normalized, param_weight
+from repro.fuzz.mutators import mutate
+from repro.fuzz.objectives import get_objective, score_record
+from repro.workloads import STREAMS
+
+__all__ = ["DEFAULT_BASES", "FuzzConfig", "run_fuzz"]
+
+ProgressFn = Callable[[str], None]
+
+#: Baseline parameter sets, one per fuzzable generator: small enough that
+#: a smoke budget affords dozens of evaluations, structured enough that
+#: every pipeline stage runs.  These are the normalization denominators --
+#: a find's score is "times more expensive than this".
+DEFAULT_BASES: dict[str, dict[str, Any]] = {
+    # cluster_size 1 keeps the base on the high-degree pipeline, so norms
+    # measure stage-cost growth rather than only the regime-dispatch cliff
+    "planted_acd": {
+        "n_cliques": 3, "clique_size": 24, "n_sparse": 40, "cluster_size": 1
+    },
+    "cabal": {"n_cabals": 2, "clique_size": 24},
+    "congest": {"n": 120},
+    "contraction": {"n": 150},
+    "voronoi": {"n": 200, "n_clusters": 50},
+    "bridge": {"half_size": 8, "external_per_side": 6},
+    "high_degree": {"n_vertices": 150, "degree_fraction": 0.4},
+    "low_degree": {"n_vertices": 200, "target_degree": 6, "cluster_size": 2},
+    "sliding_window": {"n_vertices": 200, "batches": 5},
+    "hotspot_churn": {"n_vertices": 200, "batches": 5},
+    "cluster_churn": {"n_vertices": 120, "batches": 4, "cluster_size": 4},
+}
+
+#: Hard iteration ceiling (budget-only runs cannot spin forever on
+#: cached duplicates).
+MAX_ITERS = 10_000
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz run's knobs (all deterministic inputs to the search)."""
+
+    objective: str = "rounds"
+    generators: tuple[str, ...] = ()
+    root_seed: int = 0
+    iters: int | None = None
+    budget_s: float | None = 30.0
+    margin: float = 1.25
+    cell_timeout_s: float = 30.0
+    minimize: bool = True
+    max_min_evals: int = 24
+
+
+@dataclass
+class FuzzReport:
+    """Everything a fuzz run produced, JSON-ready via :meth:`to_dict`."""
+
+    objective: str
+    root_seed: int
+    margin: float
+    iterations: int = 0
+    evaluations: int = 0
+    baselines: dict[str, float] = field(default_factory=dict)
+    finds: list[dict[str, Any]] = field(default_factory=list)
+    skipped_generators: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (the ``repro fuzz run --json`` payload)."""
+        return {
+            "objective": self.objective,
+            "root_seed": self.root_seed,
+            "margin": self.margin,
+            "iterations": self.iterations,
+            "evaluations": self.evaluations,
+            "baselines": dict(self.baselines),
+            "skipped_generators": list(self.skipped_generators),
+            "finds": list(self.finds),
+        }
+
+
+def base_cell(generator: str, params: dict[str, Any]) -> dict[str, Any]:
+    """The canonical fuzz cell for ``generator`` with ``params``: scaled
+    preset, auto regime, pinned run/instance seeds, dispatched to the
+    stream engine for churn generators and the paper pipeline otherwise."""
+    return {
+        "suite": "fuzz",
+        "workload": generator,
+        "workload_kwargs": dict(params),
+        "params": "scaled",
+        "regime": "auto",
+        "algorithm": "dynamic" if generator in STREAMS else "paper",
+        "seed": 0,
+        "instance_seed": 0,
+    }
+
+
+def _cell_key(cell: dict[str, Any]) -> str:
+    import json
+
+    return json.dumps(
+        {k: v for k, v in cell.items() if k != "suite"},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def run_fuzz(
+    config: FuzzConfig, progress: ProgressFn | None = None
+) -> FuzzReport:
+    """Run one cost-guided fuzzing campaign; returns the report.
+
+    Generators whose baseline cannot be scored under the objective (e.g.
+    ``recolor`` on a one-shot family) are skipped and listed in
+    ``report.skipped_generators`` -- an all-skip run returns an empty
+    report rather than raising, so mixed-generator invocations degrade
+    gracefully.
+    """
+    emit = progress or (lambda _line: None)
+    objective = get_objective(config.objective)
+    names = list(config.generators) or sorted(DEFAULT_BASES)
+    report = FuzzReport(
+        objective=objective.name,
+        root_seed=config.root_seed,
+        margin=config.margin,
+    )
+    start = time.perf_counter()
+
+    # -- baseline corpus: one cell per generator, scored once ------------
+    baselines: dict[str, float] = {}
+    for gen in names:
+        if gen not in DEFAULT_BASES:
+            raise ValueError(
+                f"no fuzz base registered for generator {gen!r}; "
+                f"known: {', '.join(sorted(DEFAULT_BASES))}"
+            )
+        record = run_cell(
+            base_cell(gen, DEFAULT_BASES[gen]), config.cell_timeout_s, trace=True
+        )
+        report.evaluations += 1
+        raw = score_record(objective, record)
+        if raw is None:
+            report.skipped_generators.append(gen)
+            emit(f"baseline {gen}: unscorable under {objective.name}, skipped")
+        else:
+            baselines[gen] = float(raw)
+            emit(f"baseline {gen}: {objective.name}={raw:g}")
+    report.baselines = baselines
+    gens = [g for g in names if g in baselines]
+    if not gens:
+        return report
+
+    # -- the mutation walk ----------------------------------------------
+    seen: set[str] = {
+        _cell_key(base_cell(g, DEFAULT_BASES[g])) for g in gens
+    }
+    found_keys: set[str] = set()
+    # elites: the best-normed parameter sets per generator, margin or not.
+    # This is what makes the walk cost-guided rather than blind sampling:
+    # a candidate at norm 1.1 is not yet a find, but it is a better parent
+    # than the base, and compounding such steps crosses the margin.
+    elites: dict[str, list[tuple[float, dict[str, Any]]]] = {
+        g: [] for g in gens
+    }
+    k = 0
+    while k < MAX_ITERS:
+        if config.iters is not None and k >= config.iters:
+            break
+        if (
+            config.iters is None
+            and config.budget_s is not None
+            and time.perf_counter() - start >= config.budget_s
+        ):
+            break
+        rng = np.random.default_rng([config.root_seed, k])
+        gen = gens[k % len(gens)]
+        pool = [p for _n, p in elites[gen]]
+        if pool and rng.random() < 0.7:
+            # quadratic bias toward the best elite
+            parent = pool[int(len(pool) * rng.random() ** 2)]
+        else:
+            parent = DEFAULT_BASES[gen]
+        params = mutate(rng, gen, parent, pool)
+        cell = base_cell(gen, params)
+        if gen not in STREAMS and rng.random() < 0.25:
+            cell["instance_seed"] = int(rng.integers(1, 4))
+        k += 1
+        key = _cell_key(cell)
+        if key in seen:
+            continue
+        seen.add(key)
+        record = run_cell(cell, config.cell_timeout_s, trace=True)
+        report.evaluations += 1
+        raw = score_record(objective, record)
+        norm = normalized(raw, baselines[gen])
+        if norm is None:
+            emit(f"[{k}] {gen}: {record['status']} (unscored)")
+            continue
+        emit(
+            f"[{k}] {gen}: {objective.name}={raw:g} "
+            f"norm={norm:.2f}{' *' if norm >= config.margin else ''}"
+        )
+        if norm > 1.0:
+            elite = elites[gen]
+            elite.append((norm if norm != float("inf") else 1e18, dict(params)))
+            elite.sort(key=lambda pair: -pair[0])
+            del elite[6:]
+        if norm < config.margin:
+            continue
+        # -- a find: minimize, dedupe, record ----------------------------
+        min_evals = 0
+        if config.minimize:
+            cell, min_record, min_raw, min_evals = minimize_find(
+                gen,
+                cell,
+                objective,
+                baselines[gen],
+                config.margin,
+                timeout_s=config.cell_timeout_s,
+                max_evals=config.max_min_evals,
+                progress=progress,
+            )
+            report.evaluations += min_evals
+            if min_record is not None:
+                record, raw = min_record, min_raw
+                norm = normalized(raw, baselines[gen])
+        seen.add(_cell_key(cell))
+        # finds deduplicate on (generator, minimized params): the same
+        # parameter pathology re-discovered under another instance seed is
+        # not a new find
+        min_key = _cell_key(
+            {"workload": gen, "kwargs": cell["workload_kwargs"]}
+        )
+        if min_key in found_keys:
+            continue
+        found_keys.add(min_key)
+        report.finds.append(
+            {
+                "generator": gen,
+                "iteration": k - 1,
+                "cell": cell,
+                "record": record,
+                "score": float(raw),
+                "baseline_score": baselines[gen],
+                "norm": float(norm) if norm is not None else None,
+                "weight": round(
+                    param_weight(gen, cell["workload_kwargs"]), 4
+                ),
+                "minimized": bool(config.minimize and min_evals),
+            }
+        )
+        emit(
+            f"  find #{len(report.finds)}: {gen} norm={norm:.2f} "
+            f"({min_evals} shrink evals)"
+        )
+    report.iterations = k
+    report.finds.sort(key=lambda f: (-(f["norm"] or 0.0), f["iteration"]))
+    return report

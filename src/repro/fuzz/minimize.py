@@ -1,0 +1,160 @@
+"""Greedy parameter minimization of fuzzer finds.
+
+A raw find is usually bloated: the mutation walk that discovered it also
+inflated parameters that contribute nothing to the blow-up.  The
+minimizer shrinks the instance -- size-role parameters first -- while the
+normalized score stays above the interestingness margin, so what lands in
+the corpus is the smallest instance that still exhibits the pathology
+(cheap to replay in CI forever after).
+
+The procedure is deterministic (no RNG): repeated greedy passes over the
+fuzzable parameters, each trying the most aggressive shrink first (jump
+to the parameter's default / box floor, then the midpoint).  A trial is
+accepted iff it strictly reduces instance weight *and* keeps the
+normalized score at or above the margin -- so accepted weight is monotone
+non-increasing and termination is guaranteed by the per-pass fixed point
+plus the evaluation budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.experiments.runner import run_cell
+from repro.fuzz.objectives import Objective, score_record
+from repro.workloads.specs import clamp_params, fuzzable_params
+
+__all__ = ["minimize_find", "param_weight"]
+
+ProgressFn = Callable[[str], None]
+
+
+def param_weight(generator: str, params: dict[str, Any]) -> float:
+    """Instance weight: each numeric fuzzable parameter's position in its
+    mutation box, summed (0 = everything at its floor).  The quantity the
+    minimizer drives down."""
+    weight = 0.0
+    for name, spec in fuzzable_params(generator).items():
+        value = params.get(name)
+        if value is None or spec.kind not in ("int", "float"):
+            continue
+        lo, hi = spec.box
+        if hi > lo:
+            weight += (float(value) - lo) / (hi - lo)
+    return weight
+
+
+def normalized(raw: float | None, baseline: float | None) -> float | None:
+    """Score relative to the generator's baseline cell (shared with the
+    fuzz loop): ``raw / baseline``, with a zero baseline mapping to
+    ``inf`` for any positive raw cost (strictly worse than a baseline
+    that paid nothing) and ``1.0`` when both are zero."""
+    if raw is None or baseline is None:
+        return None
+    if baseline > 0:
+        return raw / baseline
+    return float("inf") if raw > 0 else 1.0
+
+
+def _shrink_trials(spec, current: float) -> list[float]:
+    """Candidate shrunk values, most aggressive first."""
+    lo, _hi = spec.box
+    target = spec.default if spec.default is not None else lo
+    target = spec.clamp(target)
+    if float(target) >= float(current):
+        target = lo
+    trials = [target, (float(current) + float(target)) / 2.0]
+    out: list[float] = []
+    for t in trials:
+        t = int(round(t)) if spec.kind == "int" else float(t)
+        if float(t) < float(current) and t not in out:
+            out.append(t)
+    return out
+
+
+def minimize_find(
+    generator: str,
+    cell: dict[str, Any],
+    objective: Objective,
+    baseline_raw: float,
+    margin: float,
+    *,
+    timeout_s: float | None = None,
+    max_evals: int = 32,
+    progress: ProgressFn | None = None,
+) -> tuple[dict[str, Any], dict[str, Any] | None, float, int]:
+    """Shrink ``cell`` while its normalized score stays ``>= margin``.
+
+    Returns ``(best_cell, best_record, best_raw, evals)`` where
+    ``best_record`` is the full ``run_cell`` record of the minimized cell
+    (``None`` only if no trial was ever accepted, in which case the input
+    cell comes back unchanged and the caller already holds its record).
+    """
+    emit = progress or (lambda _line: None)
+    params = dict(cell.get("workload_kwargs", {}))
+    specs = fuzzable_params(generator)
+    # size-role parameters first: shrinking scale buys the most replay time
+    order = sorted(
+        (n for n in specs if specs[n].kind in ("int", "float")),
+        key=lambda n: (specs[n].role != "size", n),
+    )
+    choice_order = sorted(n for n in specs if specs[n].kind == "choice")
+    best_record: dict[str, Any] | None = None
+    best_raw = float("nan")
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        # canonicalize choice parameters first: resetting topology et al.
+        # to their defaults costs no weight but collapses behaviorally
+        # equivalent finds into one corpus entry
+        for name in choice_order:
+            spec = specs[name]
+            current = params.get(name)
+            if (
+                current is None
+                or spec.default is None
+                or current == spec.default
+                or evals >= max_evals
+            ):
+                continue
+            candidate = clamp_params(generator, {**params, name: spec.default})
+            record = run_cell(
+                {**cell, "workload_kwargs": candidate}, timeout_s, trace=True
+            )
+            evals += 1
+            raw = score_record(objective, record)
+            norm = normalized(raw, baseline_raw)
+            if norm is not None and norm >= margin:
+                params = candidate
+                best_record, best_raw = record, float(raw)  # type: ignore[arg-type]
+                improved = True
+                emit(f"  min {generator}.{name} -> {spec.default}")
+        for name in order:
+            current = params.get(name)
+            if current is None:
+                continue
+            for trial in _shrink_trials(specs[name], current):
+                if evals >= max_evals:
+                    break
+                candidate = clamp_params(generator, {**params, name: trial})
+                if param_weight(generator, candidate) >= param_weight(
+                    generator, params
+                ):
+                    continue  # cross-parameter clamping undid the shrink
+                trial_cell = {**cell, "workload_kwargs": candidate}
+                record = run_cell(trial_cell, timeout_s, trace=True)
+                evals += 1
+                raw = score_record(objective, record)
+                norm = normalized(raw, baseline_raw)
+                if norm is not None and norm >= margin:
+                    params = candidate
+                    best_record, best_raw = record, float(raw)  # type: ignore[arg-type]
+                    improved = True
+                    emit(
+                        f"  min {generator}.{name} -> {candidate[name]} "
+                        f"(norm {norm:.2f}, weight "
+                        f"{param_weight(generator, params):.2f})"
+                    )
+                    break  # restart this parameter from its new value
+    return {**cell, "workload_kwargs": params}, best_record, best_raw, evals

@@ -1,0 +1,166 @@
+"""Typed mutators over generator parameter sets.
+
+Every mutator maps ``(rng, generator, params)`` to a new params dict and
+ends in :func:`repro.workloads.specs.clamp_params`, so the post-condition
+is uniform: **every output passes ``validate_params`` and builds** -- the
+property the hypothesis suite in ``tests/test_fuzz.py`` pins.  Mutation
+ranges come from each parameter's registered fuzz box
+(:data:`repro.workloads.specs.PARAM_SPECS`), never from hard validity
+bounds, so candidates stay inside what a smoke budget can afford to run.
+
+Taxonomy (see docs/FUZZING.md):
+
+- ``jitter`` -- multiplicative log-normal-ish perturbation of one numeric
+  parameter: the local-search move.
+- ``redraw`` -- resample one *structure*-role parameter uniformly over its
+  box, biased toward the box edges: the blow-up move (densities, cabal
+  counts, hotspot rates live here).
+- ``flip`` -- re-pick one choice parameter (topology, mostly): support
+  trees and dilation react to cluster shape discontinuously, so this is
+  its own move rather than a jitter special case.
+- ``splice`` -- uniform crossover of two parents' fuzzable parameters:
+  recombines independently-discovered expensive traits, and for stream
+  generators splices the churn-trace shape (batch counts, churn rates,
+  merge/split mix) of one find onto the graph of another.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.workloads.specs import ParamSpec, clamp_params, fuzzable_params
+
+__all__ = ["MUTATORS", "full_params", "mutate", "splice"]
+
+
+def full_params(generator: str, params: dict[str, Any]) -> dict[str, Any]:
+    """Fill ``params`` with spec defaults for every fuzzable parameter.
+
+    Mutators operate on complete parameter vectors so a splice or jitter
+    can touch knobs the base cell left implicit.  ``None`` defaults
+    (generator-computed values) stay absent until a mutation sets them.
+    """
+    out = {
+        name: spec.default
+        for name, spec in fuzzable_params(generator).items()
+        if spec.default is not None
+    }
+    out.update(params)
+    return out
+
+
+def _numeric_names(generator: str, params: dict[str, Any]) -> list[str]:
+    return sorted(
+        name
+        for name, spec in fuzzable_params(generator).items()
+        if spec.kind in ("int", "float") and params.get(name) is not None
+    )
+
+
+def _draw_in_box(rng: np.random.Generator, spec: ParamSpec) -> Any:
+    """Uniform draw over the mutation box, biased 25% toward an edge
+    (pathologies live at extremes more often than in the middle)."""
+    lo, hi = spec.box
+    roll = rng.random()
+    if roll < 0.125:
+        value = lo
+    elif roll < 0.25:
+        value = hi
+    else:
+        value = lo + (hi - lo) * rng.random()
+    return int(round(value)) if spec.kind == "int" else float(value)
+
+
+def jitter(
+    rng: np.random.Generator, generator: str, params: dict[str, Any]
+) -> dict[str, Any]:
+    """Perturb one numeric parameter by a multiplicative factor in
+    [0.5, 2] (ints additionally move by at least 1 so small values do not
+    fixate under rounding)."""
+    out = full_params(generator, params)
+    names = _numeric_names(generator, out)
+    if not names:
+        return clamp_params(generator, out)
+    name = names[rng.integers(len(names))]
+    spec = fuzzable_params(generator)[name]
+    factor = 2.0 ** rng.uniform(-1.0, 1.0)
+    value = float(out[name]) * factor
+    if spec.kind == "int" and int(round(value)) == int(out[name]):
+        value = int(out[name]) + (1 if factor >= 1.0 else -1)
+    out[name] = value
+    return clamp_params(generator, out)
+
+
+def redraw(
+    rng: np.random.Generator, generator: str, params: dict[str, Any]
+) -> dict[str, Any]:
+    """Resample one structure-role parameter over its whole box."""
+    out = full_params(generator, params)
+    specs = fuzzable_params(generator)
+    names = sorted(
+        n for n, s in specs.items()
+        if s.role == "structure" and s.kind in ("int", "float")
+    ) or _numeric_names(generator, out)
+    if not names:
+        return clamp_params(generator, out)
+    name = names[rng.integers(len(names))]
+    out[name] = _draw_in_box(rng, specs[name])
+    return clamp_params(generator, out)
+
+
+def flip(
+    rng: np.random.Generator, generator: str, params: dict[str, Any]
+) -> dict[str, Any]:
+    """Re-pick one choice parameter (falls back to jitter when the
+    generator has none)."""
+    out = full_params(generator, params)
+    specs = fuzzable_params(generator)
+    names = sorted(n for n, s in specs.items() if s.kind == "choice")
+    if not names:
+        return jitter(rng, generator, params)
+    name = names[rng.integers(len(names))]
+    choices = [c for c in (specs[name].choices or ()) if c is not None]
+    out[name] = choices[rng.integers(len(choices))]
+    return clamp_params(generator, out)
+
+
+def splice(
+    rng: np.random.Generator,
+    generator: str,
+    params: dict[str, Any],
+    other: dict[str, Any],
+) -> dict[str, Any]:
+    """Uniform crossover: each fuzzable parameter comes from either
+    parent with probability 1/2 (both parents must be ``generator``
+    parameter sets)."""
+    a = full_params(generator, params)
+    b = full_params(generator, other)
+    out = dict(a)
+    for name in sorted(fuzzable_params(generator)):
+        pick = b if rng.random() < 0.5 else a
+        if name in pick:
+            out[name] = pick[name]
+        elif name in out and pick is b:
+            del out[name]
+    return clamp_params(generator, out)
+
+
+#: Point mutators, in the deterministic order the loop draws from.
+MUTATORS: tuple[Any, ...] = (jitter, jitter, redraw, flip)
+
+
+def mutate(
+    rng: np.random.Generator,
+    generator: str,
+    params: dict[str, Any],
+    pool: list[dict[str, Any]] | None = None,
+) -> dict[str, Any]:
+    """One mutation step: a point mutator, or a splice against a random
+    pool member when ``pool`` has material (probability 1/4)."""
+    if pool and rng.random() < 0.25:
+        other = pool[rng.integers(len(pool))]
+        return splice(rng, generator, params, other)
+    mutator = MUTATORS[rng.integers(len(MUTATORS))]
+    return mutator(rng, generator, params)

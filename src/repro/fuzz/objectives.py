@@ -1,0 +1,138 @@
+"""Fuzzing objectives: what "expensive" means for one run.
+
+An :class:`Objective` turns a finished ``run_cell`` record into a scalar
+cost the fuzz loop maximizes.  Two families:
+
+- **metric objectives** read a field straight off the record's metrics
+  (``rounds``, ``bits``, ``recolor``, ``escalations``) or its wall clock
+  (``wall``);
+- **trace-section objectives** (``trace:<section>[:bits|rounds|wall]``)
+  sum one column over every span named ``<section>`` anywhere in the
+  record's trace tree -- e.g. ``trace:acd.buddy:bits`` is the message
+  volume the buddy predicate alone moved.
+
+``deterministic`` marks objectives whose value is a pure function of the
+cell (rounds, bits, counts -- everything the bitwise-determinism contract
+pins).  Wall-clock objectives are useful for hunting slow instances but
+cannot be replayed bitwise, so corpus replay only gates the score for
+deterministic objectives (the coloring digest is always gated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "METRIC_OBJECTIVES",
+    "Objective",
+    "get_objective",
+    "score_record",
+]
+
+#: Trace-span column → serialized-span field(s).
+_TRACE_COLUMNS = {
+    "bits": ("message_bits",),
+    "rounds": ("rounds_h", "rounds_g"),
+    "wall": ("wall_time_s",),
+}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A named cost function over ``run_cell`` records.
+
+    ``section`` / ``column`` are set for trace objectives only;
+    ``metric`` for metric objectives.  ``deterministic`` governs whether
+    replay gates the recorded score bitwise.
+    """
+
+    name: str
+    deterministic: bool
+    metric: str | None = None
+    section: str | None = None
+    column: str | None = None
+
+
+#: The built-in metric objectives, keyed by CLI name.
+METRIC_OBJECTIVES: dict[str, Objective] = {
+    "rounds": Objective("rounds", deterministic=True, metric="rounds_h"),
+    "bits": Objective("bits", deterministic=True, metric="total_message_bits"),
+    "recolor": Objective(
+        "recolor", deterministic=True, metric="recolor_fraction_mean"
+    ),
+    "escalations": Objective(
+        "escalations", deterministic=True, metric="escalations"
+    ),
+    "wall": Objective("wall", deterministic=False, metric="wall_time_s"),
+}
+
+
+def get_objective(name: str) -> Objective:
+    """Resolve an objective by CLI name.
+
+    Plain names come from :data:`METRIC_OBJECTIVES`;
+    ``trace:<section>[:<column>]`` builds a trace-section objective
+    (column defaults to ``bits``).  Raises ``ValueError`` on anything
+    else, listing the valid spellings.
+    """
+    if name in METRIC_OBJECTIVES:
+        return METRIC_OBJECTIVES[name]
+    if name.startswith("trace:"):
+        parts = name.split(":")
+        if len(parts) == 2:
+            section, column = parts[1], "bits"
+        elif len(parts) == 3:
+            section, column = parts[1], parts[2]
+        else:
+            raise ValueError(f"malformed trace objective {name!r}")
+        if not section:
+            raise ValueError(f"trace objective {name!r} names no section")
+        if column not in _TRACE_COLUMNS:
+            raise ValueError(
+                f"unknown trace column {column!r}; "
+                f"expected one of {', '.join(sorted(_TRACE_COLUMNS))}"
+            )
+        return Objective(
+            f"trace:{section}:{column}",
+            deterministic=(column != "wall"),
+            section=section,
+            column=column,
+        )
+    raise ValueError(
+        f"unknown objective {name!r}; expected one of "
+        f"{', '.join(sorted(METRIC_OBJECTIVES))} or trace:<section>[:<column>]"
+    )
+
+
+def _sum_section(spans: list[dict[str, Any]], section: str, fields: tuple[str, ...]) -> float:
+    """Sum ``fields`` over every span named ``section``, at any depth."""
+    total = 0.0
+    for span in spans:
+        if span.get("name") == section:
+            total += sum(float(span.get(f) or 0) for f in fields)
+        total += _sum_section(span.get("children", []), section, fields)
+    return total
+
+
+def score_record(objective: Objective, record: dict[str, Any]) -> float | None:
+    """Extract ``objective``'s cost from a finished ``run_cell`` record.
+
+    Returns ``None`` when the record cannot be scored: non-``ok`` status,
+    a metric the cell's algorithm does not report (e.g. ``recolor`` on a
+    one-shot cell), or a trace objective on an untraced record.  The fuzz
+    loop treats ``None`` as "candidate out of scope", not as cost zero.
+    """
+    if record.get("status") != "ok":
+        return None
+    if objective.section is not None:
+        trace = record.get("trace")
+        if not trace:
+            return None
+        fields = _TRACE_COLUMNS[objective.column or "bits"]
+        return _sum_section(trace.get("spans", []), objective.section, fields)
+    if objective.metric == "wall_time_s":
+        wall = record.get("wall_time_s")
+        return None if wall is None else float(wall)
+    value = record.get("metrics", {}).get(objective.metric)
+    return None if value is None else float(value)

@@ -20,6 +20,13 @@ from repro.workloads.generators import (
     planted_acd_instance,
     voronoi_instance,
 )
+from repro.workloads.specs import (
+    PARAM_SPECS,
+    ParamSpec,
+    clamp_params,
+    fuzzable_params,
+    validate_params,
+)
 from repro.workloads.streams import (
     STREAMS,
     StreamWorkload,
@@ -30,7 +37,12 @@ from repro.workloads.streams import (
 
 __all__ = [
     "GENERATORS",
+    "PARAM_SPECS",
+    "ParamSpec",
     "STREAMS",
+    "clamp_params",
+    "fuzzable_params",
+    "validate_params",
     "StreamWorkload",
     "Workload",
     "cluster_churn_stream",

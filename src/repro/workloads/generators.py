@@ -25,6 +25,7 @@ import numpy as np
 from repro.cluster.builders import ClusterTopology, blowup, contraction_clusters, voronoi_clusters
 from repro.cluster.cluster_graph import ClusterGraph
 from repro.network.commgraph import CommGraph
+from repro.workloads.specs import PARAM_SPECS, validated  # noqa: F401  (re-exported)
 
 
 @dataclass
@@ -77,6 +78,7 @@ def _planted_almost_clique(
         removed += 1
 
 
+@validated("planted_acd")
 def planted_acd_instance(
     rng: np.random.Generator,
     *,
@@ -142,6 +144,7 @@ def planted_acd_instance(
     )
 
 
+@validated("cabal")
 def cabal_instance(
     rng: np.random.Generator,
     *,
@@ -209,6 +212,7 @@ def _random_network(
     return g
 
 
+@validated("congest")
 def congest_instance(
     rng: np.random.Generator,
     *,
@@ -229,6 +233,7 @@ def congest_instance(
     )
 
 
+@validated("contraction")
 def contraction_instance(
     rng: np.random.Generator,
     *,
@@ -250,6 +255,7 @@ def contraction_instance(
     )
 
 
+@validated("voronoi")
 def voronoi_instance(
     rng: np.random.Generator,
     *,
@@ -269,6 +275,7 @@ def voronoi_instance(
     )
 
 
+@validated("figure1")
 def figure1_example(rng: np.random.Generator | None = None) -> Workload:
     """The 4-cluster illustration of Figure 1: a communication graph whose
     clusters form a path-with-chord conflict graph, including a doubly-linked
@@ -298,6 +305,7 @@ def figure1_example(rng: np.random.Generator | None = None) -> Workload:
     )
 
 
+@validated("bridge")
 def bridge_pathology(
     rng: np.random.Generator, *, half_size: int = 20, external_per_side: int = 10
 ) -> Workload:
@@ -328,6 +336,7 @@ def bridge_pathology(
     )
 
 
+@validated("high_degree")
 def high_degree_instance(
     rng: np.random.Generator,
     *,
@@ -356,6 +365,7 @@ def high_degree_instance(
     )
 
 
+@validated("low_degree")
 def low_degree_instance(
     rng: np.random.Generator,
     *,

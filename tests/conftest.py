@@ -1,9 +1,23 @@
-"""Shared fixtures: deterministic rngs and session-cached workloads."""
+"""Shared fixtures: deterministic rngs and session-cached workloads.
+
+Also registers the shared hypothesis profile: the deadline is disabled
+suite-wide (per-example wall clocks flake under CI load and parallel
+sweeps; our properties assert values, not latency) and ``print_blob`` is
+on so a failing example prints its reproduction blob for an exact
+``@reproduce_failure`` re-run.  Per-file ``@settings`` now only override
+``max_examples`` and health checks, never the deadline.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+hypothesis_settings.register_profile(
+    "repro", deadline=None, print_blob=True
+)
+hypothesis_settings.load_profile("repro")
 
 from repro.aggregation import ClusterRuntime
 from repro.params import scaled

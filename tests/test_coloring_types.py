@@ -91,7 +91,7 @@ class TestPartialColoring:
         assert not c.is_colored(0)
 
     @given(st.integers(0, 400))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_colored_count_matches_assignments(self, seed):
         rng = np.random.default_rng(seed)
         c = PartialColoring.empty(20, 10)

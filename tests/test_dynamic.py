@@ -47,7 +47,7 @@ def small_cluster_graph(seed: int, n: int = 10, density: float = 0.4,
 class TestFromEdgeArrays:
     @given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 30),
            density=st.floats(0.0, 1.0))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_agrees_with_adj_list_construction(self, seed, n, density):
         rng = np.random.default_rng(seed)
         m = int(density * n * (n - 1) / 2)
@@ -96,7 +96,7 @@ def edit_scripts(draw):
 
 class TestDeltaCSR:
     @given(edit_scripts())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_matches_reference_adjacency(self, script):
         """Random valid edits against an independent dict-of-sets mirror;
         interleaved compactions must never change any answer."""
@@ -297,7 +297,7 @@ def random_batches(rng, engine_graph, n_batches, ops_per_batch):
 class TestEngineInvariants:
     @given(seed=st.integers(0, 2**31 - 1), n=st.integers(4, 14),
            density=st.floats(0.1, 0.7), n_batches=st.integers(1, 4))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_proper_and_in_palette_after_every_batch(
         self, seed, n, density, n_batches
     ):

@@ -28,7 +28,7 @@ class TestRoundTrip:
     @given(
         st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=80)
     )
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_round_trip_property(self, values):
         arr = np.asarray(values, dtype=np.int64)
         encoded = encode_maxima(arr)

@@ -60,7 +60,7 @@ graph_params = {
 
 class TestCSRStructure:
     @given(**graph_params)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_csr_matches_adj_lists(self, seed, n, density):
         g = random_graph(seed, n, density)
         assert g.csr.n_vertices == g.n_vertices
@@ -69,7 +69,7 @@ class TestCSRStructure:
             assert g.neighbor_array(v).tolist() == g.adj[v]
 
     @given(**graph_params)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_edge_arrays_match_iter_h_edges(self, seed, n, density):
         g = random_graph(seed, n, density)
         eu, ev = g.h_edge_arrays()
@@ -88,7 +88,7 @@ class TestCSRStructure:
         assert csr.neighbors(1).tolist() == [0, 2]
 
     @given(**graph_params)
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_gather_neighborhoods_segments(self, seed, n, density):
         g = random_graph(seed, n, density)
         rng = np.random.default_rng(seed + 1)
@@ -100,7 +100,7 @@ class TestCSRStructure:
 
 class TestKernelAgreement:
     @given(**graph_params)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_batch_neighbor_colors(self, seed, n, density):
         g = random_graph(seed, n, density)
         rng = np.random.default_rng(seed + 2)
@@ -112,7 +112,7 @@ class TestKernelAgreement:
             assert flat_colors[seg_ids == v].tolist() == expected
 
     @given(symmetric=st.booleans(), **graph_params)
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_batch_conflict_mask_vs_per_vertex_rule(
         self, symmetric, seed, n, density
     ):
@@ -154,7 +154,7 @@ class TestKernelAgreement:
         assert got.tolist() == expected
 
     @given(**graph_params)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_batch_used_color_masks(self, seed, n, density):
         g = random_graph(seed, n, density)
         rng = np.random.default_rng(seed + 4)
@@ -171,7 +171,7 @@ class TestKernelAgreement:
             assert set(np.flatnonzero(masks[v]).tolist()) == used
 
     @given(among_half=st.booleans(), **graph_params)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_batch_slack_counts_vs_scalar_slack(
         self, among_half, seed, n, density
     ):
@@ -186,7 +186,7 @@ class TestKernelAgreement:
         assert got.tolist() == expected
 
     @given(**graph_params)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_is_proper_and_violations_vs_loop_reference(self, seed, n, density):
         g = random_graph(seed, n, density)
         rng = np.random.default_rng(seed + 6)
@@ -223,7 +223,7 @@ class TestKernelAgreement:
         trials=st.integers(1, 8),
         **graph_params,
     )
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_neighborhood_max_rows_vs_scatter_reference(
         self, trials, seed, n, density
     ):
@@ -244,7 +244,7 @@ class TestKernelAgreement:
         chunk=st.integers(1, 64),
         **graph_params,
     )
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_neighborhood_max_rows_chunking_invariant(
         self, trials, chunk, seed, n, density
     ):
@@ -279,7 +279,7 @@ class TestLabelKernels:
     """The decomposition/cabal vectorization kernels vs naive references."""
 
     @given(**graph_params)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_label_mismatch_counts_match_scan(self, seed, n, density):
         g = random_graph(seed, n, density)
         rng = np.random.default_rng(seed + 3)
@@ -305,7 +305,7 @@ class TestLabelKernels:
             )
 
     @given(**graph_params)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_label_components_match_bfs(self, seed, n, density):
         """Min-id propagation equals an explicit BFS over the active
         subgraph -- the ComputeACD step 3 contract."""

@@ -47,7 +47,7 @@ def nearest_rank(values, q):
 
 class TestLogHistogram:
     @given(samples)
-    @settings(max_examples=200, deadline=None)
+    @settings(max_examples=200)
     def test_quantiles_within_documented_relative_error(self, values):
         hist = LogHistogram()
         hist.record_many(values)
@@ -63,7 +63,7 @@ class TestLogHistogram:
                 )
 
     @given(samples)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_quantiles_clamped_to_observed_range(self, values):
         hist = LogHistogram()
         hist.record_many(values)
@@ -72,7 +72,7 @@ class TestLogHistogram:
             assert min(values) <= got <= max(values)
 
     @given(samples, samples, samples)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_merge_associative_and_commutative(self, a, b, c):
         def hist(values):
             h = LogHistogram()
@@ -100,7 +100,7 @@ class TestLogHistogram:
             assert left.total == pytest.approx(other.total)
 
     @given(samples, samples)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_merge_equals_recording_concatenation(self, a, b):
         merged = LogHistogram()
         merged.record_many(a)
@@ -164,7 +164,7 @@ class TestLogHistogram:
 
 class TestExactPercentiles:
     @given(samples)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_matches_numpy(self, values):
         pcts = exact_percentiles(values)
         for q in (50, 95, 99):

@@ -35,7 +35,6 @@ from repro.workloads import GENERATORS, STREAMS
 
 SLOW = settings(
     max_examples=25,
-    deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
 

@@ -66,7 +66,7 @@ shard_params = {
 
 class TestShardCSR:
     @given(**shard_params)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_exact_cover(self, seed, n, density, k):
         """Owned ranges are contiguous, disjoint, and cover [0, n)."""
         plan = shard_csr(random_csr(seed, n, density), k)
@@ -82,7 +82,7 @@ class TestShardCSR:
             assert (owners[s.lo : s.hi] == s.index).all()
 
     @given(**shard_params)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_halo_rows_reproduce_full_neighborhoods(self, seed, n, density, k):
         """Every owned row, read through local_to_global, is exactly the
         full-CSR neighborhood -- the property that makes per-shard kernel
@@ -105,7 +105,7 @@ class TestShardCSR:
             ).any()
 
     @given(**shard_params)
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_deterministic(self, seed, n, density, k):
         """Identical input produces an identical plan (stable merge order)."""
         csr = random_csr(seed, n, density)

@@ -19,7 +19,6 @@ from repro.verify import is_proper
 
 SLOW = settings(
     max_examples=12,
-    deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
 
@@ -70,7 +69,7 @@ class TestPaletteViewProperties:
         q=st.integers(2, 40),
         seed=st.integers(0, 10**6),
     )
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_partition_into_free_and_used(self, n, q, seed):
         rng = np.random.default_rng(seed)
         coloring = PartialColoring.empty(n, q)
@@ -98,7 +97,7 @@ class TestEstimatorProperties:
         t=st.integers(64, 512),
         seed=st.integers(0, 10**6),
     )
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_estimate_positive_and_finite(self, d, t, seed):
         rng = np.random.default_rng(seed)
         maxima = sample_max_of_geometrics(rng, d, t)
@@ -107,7 +106,7 @@ class TestEstimatorProperties:
         assert estimate > 0
 
     @given(seed=st.integers(0, 10**6))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_merge_monotone(self, seed):
         """Estimates of supersets (via merge) never collapse below a
         constant fraction of the subset estimate."""
@@ -126,7 +125,7 @@ class TestClusterGraphProperties:
         n=st.integers(3, 30),
         seed=st.integers(0, 10**6),
     )
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_identity_degree_equals_link_count(self, n, seed):
         g = nx.gnp_random_graph(n, 0.4, seed=seed)
         comps = list(nx.connected_components(g))
@@ -144,7 +143,7 @@ class TestClusterGraphProperties:
         mult=st.integers(1, 3),
         seed=st.integers(0, 10**6),
     )
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_blowup_preserves_conflict_graph(self, n, cluster_size, mult, seed):
         g = nx.gnp_random_graph(n, 0.5, seed=seed)
         h = blowup(

@@ -63,7 +63,7 @@ def maxima_matrices(draw):
 
 class TestFusedTopK:
     @given(maxima_matrices())
-    @settings(max_examples=150, deadline=None)
+    @settings(max_examples=150)
     def test_matches_sort_definition(self, mat):
         q = threshold_index(mat.shape[1])
         k_fused, z_fused = fused_topk_counts(mat, q)
@@ -72,7 +72,7 @@ class TestFusedTopK:
         assert np.array_equal(z_fused, z_ref)
 
     @given(maxima_matrices())
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_estimates_bitwise_vs_batched(self, mat):
         """Both final-math forms reproduce their batched counterpart
         bit-for-bit from the fused integers."""
@@ -87,7 +87,7 @@ class TestFusedTopK:
         assert np.array_equal(exact_form, scalar)
 
     @given(maxima_matrices())
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_cross_form_tolerance_contract(self, mat):
         """The documented divergence between the two forms: at most a few
         ulp of relative slip, nothing more (docs/ESTIMATORS.md)."""
@@ -98,7 +98,7 @@ class TestFusedTopK:
 
 class TestStreamingAccumulation:
     @given(maxima_matrices(), st.integers(0, 2**31 - 1))
-    @settings(max_examples=150, deadline=None)
+    @settings(max_examples=150)
     def test_random_block_partition_bitwise(self, mat, seed):
         """Absorbing any random partition of the element stream -- including
         repeated row ids within a block -- lands on the same estimates as
@@ -126,7 +126,7 @@ class TestStreamingAccumulation:
         )
 
     @given(maxima_matrices())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_single_block_equals_batched(self, mat):
         """The degenerate single-block stream is exactly the batched path."""
         rows, t = mat.shape
@@ -138,7 +138,7 @@ class TestStreamingAccumulation:
 
 class TestUnionPlanes:
     @given(maxima_matrices(), st.integers(0, 2**31 - 1))
-    @settings(max_examples=150, deadline=None)
+    @settings(max_examples=150)
     def test_union_estimates_bitwise_vs_materialized(self, mat, seed):
         """Bit-plane union queries == batch_estimate over the materialized
         (pairs, trials) union matrix, to the last bit, for both forms."""
@@ -156,7 +156,7 @@ class TestUnionPlanes:
         assert np.array_equal(got_exact, batch_estimate_exact(union))
 
     @given(maxima_matrices())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_row_estimates_bitwise(self, mat):
         planes = UnionPlanes(mat)
         assert np.array_equal(planes.row_estimates(), batch_estimate(mat))

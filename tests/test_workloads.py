@@ -178,3 +178,82 @@ class TestStreamGenerators:
 
         with pytest.raises(ValueError, match="cluster_size"):
             cluster_churn_stream(np.random.default_rng(0), cluster_size=1)
+
+
+class TestParamValidation:
+    """Call-time validation through the PARAM_SPECS registry."""
+
+    def test_every_generator_has_specs(self):
+        from repro.workloads import GENERATORS, PARAM_SPECS
+
+        assert set(PARAM_SPECS) == set(GENERATORS)
+
+    def test_unknown_parameter_rejected_upfront(self):
+        from repro.workloads import GENERATORS
+
+        with pytest.raises(ValueError, match="no parameter 'bogus'"):
+            GENERATORS["planted_acd"](np.random.default_rng(0), bogus=1)
+
+    def test_out_of_bounds_rejected_with_bound_in_message(self):
+        from repro.workloads import GENERATORS
+
+        with pytest.raises(ValueError, match="must be >= 2"):
+            GENERATORS["cabal"](np.random.default_rng(0), clique_size=1)
+        with pytest.raises(ValueError, match="must be <= 1"):
+            GENERATORS["congest"](np.random.default_rng(0), p=1.5)
+
+    def test_wrong_type_rejected(self):
+        from repro.workloads import GENERATORS
+
+        with pytest.raises(ValueError, match="must be an integer"):
+            GENERATORS["congest"](np.random.default_rng(0), n=200.5)
+        with pytest.raises(ValueError, match="must be an integer"):
+            GENERATORS["congest"](np.random.default_rng(0), n=True)
+
+    def test_bad_choice_rejected(self):
+        from repro.workloads import GENERATORS
+
+        with pytest.raises(ValueError, match="must be one of"):
+            GENERATORS["high_degree"](
+                np.random.default_rng(0), topology="moebius"
+            )
+
+    def test_none_only_where_allowed(self):
+        from repro.workloads import GENERATORS
+
+        # congest's p is generator-computed when None
+        GENERATORS["congest"](np.random.default_rng(0), n=60, p=None)
+        with pytest.raises(ValueError, match="does not accept None"):
+            GENERATORS["congest"](np.random.default_rng(0), n=None)
+
+    def test_spec_defaults_are_valid(self):
+        from repro.workloads import PARAM_SPECS
+        from repro.workloads.specs import validate_params
+
+        for name, specs in PARAM_SPECS.items():
+            defaults = {
+                k: s.default for k, s in specs.items() if s.default is not None
+            }
+            validate_params(name, defaults)
+
+    def test_fuzz_boxes_inside_hard_bounds(self):
+        from repro.workloads import PARAM_SPECS
+
+        for name, specs in PARAM_SPECS.items():
+            for pname, spec in specs.items():
+                if not spec.fuzz or spec.kind == "choice":
+                    continue
+                lo, hi = spec.box
+                assert lo <= hi, f"{name}.{pname}"
+                if spec.low is not None:
+                    assert lo >= spec.low, f"{name}.{pname}"
+                if spec.high is not None:
+                    assert hi <= spec.high, f"{name}.{pname}"
+
+    def test_clamp_params_output_validates(self):
+        from repro.workloads.specs import clamp_params, validate_params
+
+        wild = {"n": 10**9, "p": 5.0, "n_clusters": 10**9}
+        cleaned = clamp_params("voronoi", wild)
+        validate_params("voronoi", cleaned)
+        assert cleaned["n_clusters"] <= cleaned["n"]

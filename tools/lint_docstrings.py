@@ -35,6 +35,8 @@ DEFAULT_TARGETS = (
     "src/repro/experiments",
     "src/repro/parallel",
     "src/repro/network",
+    "src/repro/fuzz",
+    "src/repro/workloads",
 )
 
 FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
