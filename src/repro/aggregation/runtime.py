@@ -54,6 +54,12 @@ class ClusterRuntime:
         backends trace their exchanges and size their boundary charges
         from this execution (backends are value-identical by contract, so
         the choice never changes simulated metrics).
+    netmodel:
+        Optional :class:`~repro.network.hetnet.HetNetModel` attached to
+        the ledger before any charge: the execution then additionally
+        reports a simulated-clock makespan.  Read-only toward the
+        algorithm -- attaching one is bitwise-invisible to colorings,
+        counters, and the RNG stream (docs/NETWORK.md).
     """
 
     graph: object
@@ -62,6 +68,7 @@ class ClusterRuntime:
     ledger: BandwidthLedger | None = None
     tracer: object = None
     backend: object = None
+    netmodel: object = None
 
     def __post_init__(self) -> None:
         n = self.graph.n_machines
@@ -71,6 +78,8 @@ class ClusterRuntime:
                 bandwidth_bits=self.params.bandwidth_bits(n),
                 dilation=max(1, self.graph.dilation) * max(1, congestion),
             )
+        if self.netmodel is not None:
+            self.ledger.attach_netmodel(self.netmodel)
         if self.tracer is None:
             self.tracer = NULL_TRACER
         else:

@@ -28,6 +28,10 @@ Commands
 ``trace``
     Run one workload under an enabled tracer and print the per-stage
     wall/rounds/bits table, slowest first.
+``netsim``
+    Run one workload on a sampled heterogeneous fabric
+    (docs/NETWORK.md) and print the simulated-clock makespan with its
+    critical stage and critical link.
 ``history``
     Append sweep artifacts to the per-commit history store and print the
     wall-time trend report (report-only; never gates).
@@ -471,6 +475,87 @@ def _cmd_trace(args) -> int:
             f"boundary_bits={int(total_bits)}, wall_s={wall:.4f}"
         )
     return 0 if proper and matches else 1
+
+
+def _cmd_netsim(args) -> int:
+    """Run one workload on a sampled heterogeneous fabric; print the
+    simulated-clock makespan with per-stage and per-link attribution."""
+    from repro.observe import Tracer, aggregate_stage_rows, stage_rows
+
+    maker = GENERATORS[args.workload]
+    w = maker(
+        np.random.default_rng(args.instance_seed),
+        net_skew=args.skew,
+        net_fill=args.fill,
+    )
+    model = w.netmodel
+    params = paper() if args.params == "paper" else scaled()
+    tracer = Tracer()
+    if args.workload in STREAMS:
+        from repro.dynamic import run_stream
+
+        _engine, _result, metrics = run_stream(
+            w, params=params, seed=args.seed, mode=args.mode, tracer=tracer
+        )
+        proper = bool(metrics["proper"])
+        makespan = metrics["makespan_ms"]
+        rounds = metrics["rounds_h"]
+    else:
+        result = color_cluster_graph(
+            w.graph, params=params, seed=args.seed, regime=args.regime,
+            tracer=tracer, netmodel=model,
+        )
+        proper = bool(result.proper)
+        makespan = result.ledger_summary["makespan_ms"]
+        rounds = result.rounds_h
+    rows = aggregate_stage_rows(stage_rows(tracer))
+    rows.sort(key=lambda r: r["makespan_ms"], reverse=True)
+    critical_stage = rows[0]["stage"] if rows else "(none)"
+    critical_link, critical_ms = model.critical_element()
+    if args.json:
+        print(json.dumps(
+            {
+                "workload": w.name,
+                "skew": args.skew,
+                "fill": args.fill,
+                "machines": w.graph.n_machines,
+                "slow_machines": model.n_slow_machines,
+                "proper": proper,
+                "rounds_h": rounds,
+                "makespan_ms": makespan,
+                "critical_stage": critical_stage,
+                "critical_link": critical_link,
+            },
+            indent=2,
+        ))
+        return 0 if proper else 1
+    print(f"workload: {w.name}  ({w.notes})")
+    print(
+        f"fabric: {w.graph.n_machines} machines, "
+        f"{model.n_slow_machines} slow (fill={args.fill:g}), "
+        f"bandwidth skew {args.skew:g}:1"
+    )
+    print(f"proper={proper} rounds_h={rounds} makespan={makespan:.3f}ms")
+    print(format_table(
+        [
+            {
+                "stage": r["stage"],
+                "spans": r["spans"],
+                "rounds_h": r["rounds_h"],
+                "bits": r["bits"],
+                "makespan_ms": f"{r['makespan_ms']:.3f}",
+            }
+            for r in rows
+        ]
+    ))
+    print(f"critical stage: {critical_stage}")
+    print(f"critical link:  {critical_link}  ({critical_ms:.3f}ms on the clock)")
+    slowest = model.element_times(top=5)
+    if slowest:
+        print("slowest elements:")
+        for name, ms in slowest:
+            print(f"  {ms:10.3f}ms  {name}")
+    return 0 if proper else 1
 
 
 def _collect_nested_spans(trace: dict | None, name: str) -> list[dict]:
@@ -926,6 +1011,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_backend_args(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_netsim = sub.add_parser(
+        "netsim",
+        help="simulate a workload on a heterogeneous fabric, print the makespan",
+    )
+    p_netsim.add_argument("workload", choices=sorted(GENERATORS))
+    p_netsim.add_argument("--instance-seed", type=int, default=0)
+    p_netsim.add_argument("--seed", type=int, default=0)
+    p_netsim.add_argument(
+        "--skew", type=float, default=10.0,
+        help="slow/standard bandwidth ratio (>= 1; 1 = homogeneous speeds)",
+    )
+    p_netsim.add_argument(
+        "--fill", type=float, default=0.1,
+        help="fraction of machines drawn slow (0..1)",
+    )
+    p_netsim.add_argument(
+        "--regime", choices=["auto", "high_degree", "polylog", "low_degree"],
+        default="auto", help="static pipeline regime (ignored for streams)",
+    )
+    p_netsim.add_argument(
+        "--mode", choices=["repair", "scratch"], default="repair",
+        help="stream engine mode (ignored for static workloads)",
+    )
+    p_netsim.add_argument("--params", choices=["scaled", "paper"], default="scaled")
+    p_netsim.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+    p_netsim.set_defaults(func=_cmd_netsim)
 
     p_history = sub.add_parser(
         "history", help="per-commit perf history: append + trend report"

@@ -103,6 +103,7 @@ def color_cluster_graph(
     tracer=None,
     backend: str | ExecutionBackend | None = None,
     shards: int | None = None,
+    netmodel=None,
 ) -> ColoringResult:
     """(Δ+1)-color a cluster (or virtual) graph.
 
@@ -135,6 +136,11 @@ def color_cluster_graph(
         stream, and simulated ledger charges do not depend on this choice;
         a sharded run additionally reports its cross-shard boundary
         traffic in ``ColoringResult.backend_summary``.
+    netmodel:
+        Optional :class:`~repro.network.hetnet.HetNetModel`: converts the
+        ledger's round charges into a simulated-clock makespan
+        (``ledger_summary["makespan_ms"]``).  Bitwise-invisible to the
+        coloring, counters, and RNG stream -- same contract as ``tracer``.
 
     Returns a :class:`~repro.coloring.stats.ColoringResult`.
     """
@@ -149,7 +155,8 @@ def color_cluster_graph(
         backend is not None
     ) else None
     runtime = ClusterRuntime(
-        graph=graph, params=params, rng=rng, tracer=tracer, backend=exec_backend
+        graph=graph, params=params, rng=rng, tracer=tracer,
+        backend=exec_backend, netmodel=netmodel,
     )
     tracer = runtime.tracer
     ledger = runtime.ledger

@@ -169,6 +169,13 @@ class DynamicColoring:
         registry is fed from the finished :class:`BatchReport` only --
         values already measured -- so an instrumented run is
         bitwise-identical to a bare one (same contract as ``tracer``).
+    netmodel:
+        Optional :class:`~repro.network.hetnet.HetNetModel` attached to
+        the stream ledger and shared with every scratch-escalation
+        sub-run, so the stream's ``makespan_ms`` covers exactly the
+        rounds the stream ledger accounts (the bootstrap, whose rounds
+        are not stream rounds, stays outside the simulated clock too).
+        Bitwise-invisible, same contract as ``tracer``.
     """
 
     def __init__(
@@ -186,6 +193,7 @@ class DynamicColoring:
         tracer=None,
         backend=None,
         metrics=None,
+        netmodel=None,
     ):
         if mode not in ("repair", "scratch"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -194,6 +202,7 @@ class DynamicColoring:
         self.mode = mode
         self.backend = backend
         self.metrics = metrics
+        self.netmodel = netmodel
         self.escalate_fraction = escalate_fraction
         self.verify_each_batch = verify_each_batch
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -212,6 +221,11 @@ class DynamicColoring:
             bandwidth_bits=self.params.bandwidth_bits(max(2, graph.n_machines)),
             dilation=max(1, graph.dilation),
         )
+        if netmodel is not None:
+            # the stream ledger and every pipeline sub-run (bootstrap,
+            # scratch escalations) share ONE model: per-element times
+            # accumulate across them while absorb() folds the scalar
+            self.ledger.attach_netmodel(netmodel)
         self.tracer.bind_ledger(self.ledger)
         self.num_colors = self.delta.max_degree + 1
         if colors is None:
@@ -574,6 +588,7 @@ class DynamicColoring:
             rng=self.rng,
             verify=False,
             backend=self.backend,
+            netmodel=self.netmodel,
         )
         self.colors = np.asarray(result.colors, dtype=np.int64).copy()
         self.num_colors = result.num_colors

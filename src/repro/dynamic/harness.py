@@ -96,6 +96,13 @@ def summarize_stream(
         "vertices_final": engine.n_alive,
         "delta_final": engine.max_degree,
     }
+    if "makespan_ms" in ledger:
+        # heterogeneous network model attached (repro.network.hetnet):
+        # simulated-clock totals ride along; absent otherwise so
+        # homogeneous stream artifacts stay byte-identical to pre-model ones
+        metrics["makespan_ms"] = ledger["makespan_ms"]
+        if getattr(engine, "netmodel", None) is not None:
+            metrics["critical_link"] = engine.netmodel.critical_element()[0]
     metrics.update(latency_fields(wall_times, total_updates, result.wall_time_s))
     return metrics
 
@@ -131,7 +138,10 @@ def run_stream(
     ``metrics`` (a :class:`~repro.observe.metrics.MetricsRegistry`,
     optional) binds a live registry to the engine; it is fed from
     finished batch reports only, so passing one cannot change any
-    reported value.
+    reported value.  A workload carrying a sampled heterogeneous network
+    model (``workload.netmodel``, see :mod:`repro.network.hetnet`) has it
+    attached to the engine automatically; the returned metrics then also
+    carry ``makespan_ms`` and ``critical_link``.
     """
     graph = workload.graph
     batches = getattr(workload, "batches", None)
@@ -162,6 +172,7 @@ def run_stream(
         tracer=tracer,
         backend=exec_backend,
         metrics=metrics,
+        netmodel=getattr(workload, "netmodel", None),
     )
     bootstrap_s = time.perf_counter() - bootstrap_start
     result = engine.run(batches)

@@ -29,6 +29,10 @@ DEFAULT_TOLERANCES: dict[str, float] = {
     # deterministic service/stream correctness: a batch that ends improper
     # is a hard regression regardless of machine speed
     "violation_batches": 0.0,
+    # simulated-clock makespan (hetnet cells only; the metric is absent --
+    # and therefore skipped -- on homogeneous cells).  Deterministic: it is
+    # a pure function of the charge sequence and the sampled fabric.
+    "makespan_ms": 0.05,
 }
 
 
@@ -139,6 +143,9 @@ GATEABLE_METRICS = frozenset(
         # they are SLO material, not compare gates
         "violation_batches",
         "slo_failed",
+        # hetnet cells (repro.network.hetnet): simulated time, deterministic
+        # given the seeds like every other simulated quantity
+        "makespan_ms",
     }
 )
 

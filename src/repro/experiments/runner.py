@@ -188,6 +188,7 @@ def _execute(
             _engine.colors[_engine.delta.alive_mask]
         )
     elif cell.algorithm == "paper":
+        netmodel = getattr(workload, "netmodel", None)
         result = color_cluster_graph(
             graph,
             params=params,
@@ -196,6 +197,7 @@ def _execute(
             tracer=tracer,
             backend=backend,
             shards=shards,
+            netmodel=netmodel,
         )
         metrics.update(
             regime_effective=result.stats.regime,
@@ -210,6 +212,10 @@ def _execute(
             coloring_digest=coloring_digest(result.colors),
             **_boundary_metrics(result.backend_summary),
         )
+        if "makespan_ms" in result.ledger_summary:
+            # heterogeneous fabric attached: simulated-clock ride-alongs
+            metrics["makespan_ms"] = result.ledger_summary["makespan_ms"]
+            metrics["critical_link"] = netmodel.critical_element()[0]
     else:
         comparators = {
             "luby": luby_coloring,

@@ -704,6 +704,102 @@ _register(
 )
 
 # ---------------------------------------------------------------------------
+# The hetnet suites: simulated-time makespan on heterogeneous fabrics.
+#
+# Each workload is swept across the bandwidth-skew x slow-fill grid of
+# docs/NETWORK.md via the generator-level ``net_*`` knobs.  The knobs are
+# bitwise-invisible to the algorithm (same colorings, rounds, and bits in
+# every grid column; only ``makespan_ms`` moves), which is exactly what
+# ``tools/check_hetnet_makespan.py`` gates in CI.  These are fixed-cell
+# suites because they mix one-shot and stream algorithms per workload --
+# no single grid cross-product describes them.
+# ---------------------------------------------------------------------------
+
+#: The hetnet sweep grid: slow/standard bandwidth ratio x slow-machine fill.
+HETNET_SKEWS = (1.0, 10.0, 100.0)
+HETNET_FILLS = (0.01, 0.1)
+
+
+def _hetnet_cells(
+    suite: str,
+    members: tuple[tuple[str, dict[str, Any], str], ...],
+) -> tuple[Cell, ...]:
+    """Expand ``(workload, kwargs, algorithm)`` triples across the
+    skew x fill grid as pinned single-seed cells."""
+    cells: list[Cell] = []
+    for workload, kwargs, algorithm in members:
+        for skew in HETNET_SKEWS:
+            for fill in HETNET_FILLS:
+                full = {**kwargs, "net_skew": skew, "net_fill": fill}
+                cells.append(
+                    Cell(
+                        suite=suite,
+                        workload=workload,
+                        workload_kwargs=tuple(sorted(full.items())),
+                        params="scaled",
+                        regime="auto",
+                        algorithm=algorithm,
+                        seed=0,
+                        instance_seed=0,
+                    )
+                )
+    return tuple(cells)
+
+
+_register(
+    ScenarioSpec(
+        name="hetnet_smoke",
+        description=(
+            "CI-fast heterogeneous-fabric sweep: bandwidth skew "
+            "{1,10,100} x slow fill {1%,10%} on one static and one "
+            "stream workload (headline metric: makespan_ms)"
+        ),
+        fixed_cells=_hetnet_cells(
+            "hetnet_smoke",
+            (
+                ("congest", {"n": 80}, "paper"),
+                (
+                    "sliding_window",
+                    {"n_vertices": 200, "avg_degree": 6.0, "batches": 4},
+                    "dynamic",
+                ),
+            ),
+        ),
+        cell_timeout_s=120.0,
+    )
+)
+
+_register(
+    ScenarioSpec(
+        name="hetnet",
+        description=(
+            "Heterogeneous-fabric makespan sweep: bandwidth skew "
+            "{1,10,100} x slow fill {1%,10%} across static and stream "
+            "workloads (docs/NETWORK.md)"
+        ),
+        fixed_cells=_hetnet_cells(
+            "hetnet",
+            (
+                ("congest", {"n": 300}, "paper"),
+                ("low_degree", {"n_vertices": 500, "target_degree": 8}, "paper"),
+                (
+                    "sliding_window",
+                    {"n_vertices": 1000, "avg_degree": 8.0, "batches": 8},
+                    "dynamic",
+                ),
+                (
+                    "hotspot_churn",
+                    {"n_vertices": 800, "avg_degree": 10.0, "batches": 6},
+                    "dynamic",
+                ),
+            ),
+        ),
+        cell_timeout_s=600.0,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
 # The pathology suite: pinned fuzzer finds (benchmarks/pathologies/).
 #
 # Each JSON file under PATHOLOGY_DIR is one promoted corpus entry from

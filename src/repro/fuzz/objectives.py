@@ -64,6 +64,11 @@ METRIC_OBJECTIVES: dict[str, Objective] = {
     "escalations": Objective(
         "escalations", deterministic=True, metric="escalations"
     ),
+    # simulated-clock makespan: only scored on cells carrying the net_*
+    # knobs (the metric is absent otherwise -> candidate out of scope),
+    # but deterministic there -- it is a pure function of the charge
+    # sequence and the seed-sampled fabric
+    "makespan": Objective("makespan", deterministic=True, metric="makespan_ms"),
     "wall": Objective("wall", deterministic=False, metric="wall_time_s"),
 }
 

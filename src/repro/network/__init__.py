@@ -1,13 +1,18 @@
-"""Communication-network substrate: graphs, accounting, faithful simulation."""
+"""Communication-network substrate: graphs, accounting, faithful simulation,
+and the heterogeneous simulated-time layer (:mod:`repro.network.hetnet`)."""
 
 from repro.network.commgraph import CommGraph
+from repro.network.hetnet import HetNetModel, HetNetSpec, MachineType
 from repro.network.ledger import BandwidthLedger, LedgerSnapshot, ModelViolation
 from repro.network.machine_sim import MachineSimulator, Message
 
 __all__ = [
     "CommGraph",
     "BandwidthLedger",
+    "HetNetModel",
+    "HetNetSpec",
     "LedgerSnapshot",
+    "MachineType",
     "ModelViolation",
     "MachineSimulator",
     "Message",

@@ -32,7 +32,10 @@ class CommGraph:
         links are collapsed.
     """
 
-    __slots__ = ("n", "_indptr", "_indices", "_link_u", "_link_v", "_m", "_csr")
+    __slots__ = (
+        "n", "_indptr", "_indices", "_link_u", "_link_v", "_link_codes",
+        "_m", "_csr",
+    )
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]]):
         if n <= 0:
@@ -57,9 +60,11 @@ class CommGraph:
             codes = np.unique(lo * n + hi)
             self._link_u = codes // n
             self._link_v = codes % n
+            self._link_codes = codes
         else:
             self._link_u = np.empty(0, dtype=np.int64)
             self._link_v = np.empty(0, dtype=np.int64)
+            self._link_codes = np.empty(0, dtype=np.int64)
         self._m = int(self._link_u.size)
         self._csr = CSRAdjacency.from_edge_arrays(self._link_u, self._link_v, n)
         self._indptr = self._csr.indptr
@@ -100,6 +105,20 @@ class CommGraph:
         lexicographically sorted (the vectorized construction input of
         :meth:`ClusterGraph.from_assignment`)."""
         return self._link_u, self._link_v
+
+    def link_index(self, u: int, v: int) -> int:
+        """Position of link ``{u, v}`` in the :meth:`link_arrays` order.
+
+        The canonical index for per-link attribute arrays (the
+        heterogeneous network model keys its bandwidth/latency samples by
+        it).  Raises ``KeyError`` when the machines share no link.
+        """
+        lo, hi = (u, v) if u < v else (v, u)
+        code = lo * self.n + hi
+        i = int(np.searchsorted(self._link_codes, code))
+        if i >= self._m or int(self._link_codes[i]) != code:
+            raise KeyError(f"machines {u} and {v} share no link")
+        return i
 
     def iter_links(self) -> Iterator[tuple[int, int]]:
         """All links, each once, as ``(u, v)`` with ``u < v`` (sorted)."""

@@ -42,13 +42,20 @@ class _MaxWindowValue:
 
 @dataclass
 class LedgerSnapshot:
-    """Immutable view of ledger counters, for before/after diffs."""
+    """Immutable view of ledger counters, for before/after diffs.
+
+    ``makespan_ms`` is the simulated-clock total of the heterogeneous
+    network model (:mod:`repro.network.hetnet`); it stays ``0.0`` on
+    ledgers without an attached model, so snapshot consumers predating
+    the model see only zeros.
+    """
 
     rounds_h: int
     rounds_g: int
     total_message_bits: int
     max_message_bits: int
     num_operations: int
+    makespan_ms: float = 0.0
 
     def diff(self, later: "LedgerSnapshot") -> "LedgerSnapshot":
         """Counters accumulated between ``self`` and ``later``.
@@ -71,6 +78,7 @@ class LedgerSnapshot:
             total_message_bits=later.total_message_bits - self.total_message_bits,
             max_message_bits=later.max_message_bits,
             num_operations=later.num_operations - self.num_operations,
+            makespan_ms=later.makespan_ms - self.makespan_ms,
         )
 
 
@@ -88,6 +96,15 @@ class BandwidthLedger:
     strict:
         If True, an unpipelined message wider than ``bandwidth_bits`` raises
         :class:`ModelViolation` instead of being silently split.
+    netmodel:
+        Optional :class:`~repro.network.hetnet.HetNetModel`.  When
+        attached, every charge additionally advances the simulated clock
+        (``makespan_ms``) by ``effective_rounds x envelope(capped width)``
+        and accounts the time onto the critical element.  The model is
+        strictly read-only toward the execution: no RNG draws, no extra
+        charges, no control-flow changes -- attaching one is bitwise
+        invisible to every pre-existing counter (the hetnet neutrality
+        tests pin this, same contract as the tracer).
     """
 
     bandwidth_bits: int
@@ -100,6 +117,8 @@ class BandwidthLedger:
     num_operations: int = 0
     per_op_rounds: Counter = field(default_factory=Counter)
     per_op_bits: Counter = field(default_factory=Counter)
+    netmodel: object | None = None
+    makespan_ms: float = 0.0
     #: Open max-window frames (innermost last); see :meth:`push_max_window`.
     _window_maxes: list = field(default_factory=list, init=False, repr=False)
 
@@ -157,7 +176,7 @@ class BandwidthLedger:
           ``sum(per_op_bits.values()) == total_message_bits`` always holds.
         * A charge with ``rounds_h == 0`` but positive ``message_bits``
           accounts its payload once (it models data riding along an
-          already-charged round).
+          already-charged round) and advances no simulated time.
         """
         if message_bits < 0 or rounds_h < 0:
             raise ValueError("negative cost")
@@ -177,6 +196,10 @@ class BandwidthLedger:
         self.rounds_g += effective_rounds_h * d
         self.total_message_bits += bits_charged
         capped_width = min(message_bits, self.bandwidth_bits)
+        if self.netmodel is not None and effective_rounds_h > 0:
+            self.makespan_ms += self.netmodel.account(
+                capped_width, effective_rounds_h
+            )
         self.max_message_bits = max(self.max_message_bits, capped_width)
         if self._window_maxes and capped_width > self._window_maxes[-1]:
             self._window_maxes[-1] = capped_width
@@ -192,8 +215,13 @@ class BandwidthLedger:
         when it escalates to a scratch recolor; absorbing that run's
         :meth:`summary` under a single ``op`` label keeps the stream ledger's
         invariants intact (``sum(per_op_rounds) == rounds_h`` and
-        ``sum(per_op_bits) == total_message_bits``).
+        ``sum(per_op_bits) == total_message_bits``).  Simulated time folds
+        the same way: a sub-run sharing this ledger's network model
+        contributes its ``makespan_ms`` here, so split accounting sums to
+        exactly the unsplit total (the merge/absorb consistency tests).
         """
+        if "makespan_ms" in summary:
+            self.makespan_ms += float(summary["makespan_ms"])
         rounds_h = int(summary["rounds_h"])
         bits = int(summary["total_message_bits"])
         self.rounds_h += rounds_h
@@ -213,6 +241,20 @@ class BandwidthLedger:
         """Record a zero-round bookkeeping operation (local computation)."""
         self.num_operations += 1
         self.per_op_rounds[op] += 0
+
+    def attach_netmodel(self, model) -> None:
+        """Attach a :class:`~repro.network.hetnet.HetNetModel`.
+
+        Only legal on a pristine ledger: attaching after charges were
+        recorded would leave those rounds outside the simulated clock and
+        silently under-report the makespan.
+        """
+        if self.num_operations or self.rounds_h:
+            raise RuntimeError(
+                "cannot attach a network model to a ledger that already "
+                f"recorded {self.num_operations} operations"
+            )
+        self.netmodel = model
 
     # ---- window-local maxima -------------------------------------------------
     #
@@ -266,6 +308,7 @@ class BandwidthLedger:
             total_message_bits=self.total_message_bits,
             max_message_bits=self.max_message_bits,
             num_operations=self.num_operations,
+            makespan_ms=self.makespan_ms,
         )
 
     def assert_compliant(self) -> None:
@@ -277,11 +320,18 @@ class BandwidthLedger:
             )
 
     def summary(self) -> dict[str, int]:
-        """Headline counters as a plain dict (for experiment records)."""
-        return {
+        """Headline counters as a plain dict (for experiment records).
+
+        ``makespan_ms`` appears only when a network model is attached, so
+        artifacts of homogeneous runs are byte-identical to pre-model ones.
+        """
+        out = {
             "rounds_h": self.rounds_h,
             "rounds_g": self.rounds_g,
             "total_message_bits": self.total_message_bits,
             "max_message_bits": self.max_message_bits,
             "num_operations": self.num_operations,
         }
+        if self.netmodel is not None:
+            out["makespan_ms"] = round(self.makespan_ms, 6)
+        return out

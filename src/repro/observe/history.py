@@ -79,6 +79,10 @@ def _stage_breakdown(trace: dict[str, Any] | None) -> dict[str, Any] | None:
             "rounds_g": row["rounds_g"],
             "message_bits": row["bits"],
         }
+        if row.get("makespan_ms"):
+            # hetnet cells only -- absent keys keep homogeneous history
+            # entries byte-identical to pre-hetnet ones
+            stages[row["stage"]]["makespan_ms"] = round(row["makespan_ms"], 6)
     return stages or None
 
 

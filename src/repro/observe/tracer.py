@@ -61,6 +61,10 @@ class SpanRecord:
     message_bits: int = 0
     max_message_bits: int = 0
     num_operations: int = 0
+    #: Simulated time accumulated inside the span when the bound ledger
+    #: carries a heterogeneous network model (:mod:`repro.network.hetnet`);
+    #: stays 0.0 -- and is omitted from the serialized span -- otherwise.
+    makespan_ms: float = 0.0
     counters: dict[str, float] = field(default_factory=dict)
     children: list["SpanRecord"] = field(default_factory=list)
 
@@ -85,6 +89,8 @@ class SpanRecord:
             "max_message_bits": self.max_message_bits,
             "num_operations": self.num_operations,
         }
+        if self.makespan_ms:
+            out["makespan_ms"] = round(self.makespan_ms, 6)
         if self.tags:
             out["tags"] = dict(self.tags)
         if self.counters:
@@ -136,6 +142,7 @@ class _ActiveSpan:
             self.record.num_operations += (
                 after.num_operations - before.num_operations
             )
+            self.record.makespan_ms += after.makespan_ms - before.makespan_ms
             window_max = ledger.pop_max_window()
             if window_max > self.record.max_message_bits:
                 self.record.max_message_bits = window_max
@@ -300,6 +307,7 @@ def stage_rows(
                 "rounds_g": int(span.get("rounds_g", 0)),
                 "bits": int(span.get("message_bits", 0)),
                 "max_bits": int(span.get("max_message_bits", 0)),
+                "makespan_ms": float(span.get("makespan_ms", 0.0)),
             }
         )
     return rows
@@ -316,12 +324,13 @@ def aggregate_stage_rows(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
         bucket = merged.setdefault(
             name,
             {"stage": name, "wall_s": 0.0, "rounds_h": 0, "rounds_g": 0,
-             "bits": 0, "max_bits": 0, "spans": 0},
+             "bits": 0, "max_bits": 0, "makespan_ms": 0.0, "spans": 0},
         )
         bucket["wall_s"] += row["wall_s"]
         bucket["rounds_h"] += row["rounds_h"]
         bucket["rounds_g"] += row["rounds_g"]
         bucket["bits"] += row["bits"]
         bucket["max_bits"] = max(bucket["max_bits"], row["max_bits"])
+        bucket["makespan_ms"] += row.get("makespan_ms", 0.0)
         bucket["spans"] += 1
     return list(merged.values())

@@ -180,6 +180,7 @@ class ColoringService:
             tracer=self.tracer,
             backend=self.backend,
             metrics=self.metrics,
+            netmodel=getattr(self.workload, "netmodel", None),
         )
         self.bootstrap_wall_time_s = time.perf_counter() - bootstrap_start
         self._running = True

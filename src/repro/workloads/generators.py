@@ -30,7 +30,16 @@ from repro.workloads.specs import PARAM_SPECS, validated  # noqa: F401  (re-expo
 
 @dataclass
 class Workload:
-    """A test instance: the graph, its provenance, and planted truth."""
+    """A test instance: the graph, its provenance, and planted truth.
+
+    ``hetnet`` / ``netmodel`` are only populated when the generator was
+    called with the ``net_*`` knobs (see
+    :func:`repro.workloads.specs.validated`): the
+    :class:`~repro.network.hetnet.HetNetSpec` that was requested and the
+    :class:`~repro.network.hetnet.HetNetModel` sampled over this
+    workload's communication graph.  Both stay ``None`` on the default
+    homogeneous fabric.
+    """
 
     name: str
     graph: ClusterGraph
@@ -38,6 +47,8 @@ class Workload:
     planted_sparse: list[int] = field(default_factory=list)
     expected_regime: str = "auto"  # "high_degree" | "low_degree" | "auto"
     notes: str = ""
+    hetnet: object = None
+    netmodel: object = None
 
     @property
     def delta(self) -> int:

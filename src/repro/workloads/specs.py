@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any
 
 __all__ = [
+    "NET_PARAM_NAMES",
     "PARAM_SPECS",
     "ParamSpec",
     "clamp_params",
@@ -137,6 +138,33 @@ def _arrival_specs() -> dict[str, ParamSpec]:
     }
 
 
+#: The heterogeneous-fabric knobs shared by *every* generator (handled
+#: centrally in :func:`validated`, never passed to the generator body).
+NET_PARAM_NAMES = ("net_skew", "net_fill")
+
+
+def _net_specs() -> dict[str, ParamSpec]:
+    """The heterogeneous network knobs (:mod:`repro.network.hetnet`).
+
+    Both default to ``None`` (no model sampled: the homogeneous fabric,
+    bitwise-identical to the pre-hetnet behavior), so they stay absent
+    from ``full_params`` until a caller -- or a fuzzer ``redraw`` -- sets
+    one.  ``net_skew`` is the slow/standard bandwidth ratio, ``net_fill``
+    the fraction of machines drawn slow; fuzz boxes keep smoke-budget
+    searches inside the sweep range the ``hetnet`` suites pin.
+    """
+    return {
+        "net_skew": ParamSpec(
+            kind="float", default=None, low=1.0, high=1e6, allow_none=True,
+            fuzz=True, fuzz_low=1.0, fuzz_high=100.0, role="structure",
+        ),
+        "net_fill": ParamSpec(
+            kind="float", default=None, low=0.0, high=1.0, allow_none=True,
+            fuzz=True, fuzz_low=0.0, fuzz_high=0.2, role="structure",
+        ),
+    }
+
+
 #: Per-generator parameter specifications, keyed exactly like
 #: ``GENERATORS``.  Every keyword parameter of every registered generator
 #: appears here; :func:`validate_params` rejects anything else.
@@ -175,6 +203,7 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
             kind="int", default=2, low=1, high=64,
             fuzz=True, fuzz_low=1, fuzz_high=4,
         ),
+        **_net_specs(),
     },
     "cabal": {
         "n_cabals": ParamSpec(
@@ -198,6 +227,7 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
             fuzz=True, fuzz_low=1, fuzz_high=4, role="size",
         ),
         "topology": _topology(),
+        **_net_specs(),
     },
     "congest": {
         "n": ParamSpec(
@@ -211,6 +241,7 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
         "avg_degree": ParamSpec(
             kind="float", default=None, low=0.0, high=4096.0, allow_none=True,
         ),
+        **_net_specs(),
     },
     "contraction": {
         "n": ParamSpec(
@@ -228,6 +259,7 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
         "avg_degree": ParamSpec(
             kind="float", default=None, low=0.0, high=4096.0, allow_none=True,
         ),
+        **_net_specs(),
     },
     "voronoi": {
         "n": ParamSpec(
@@ -245,6 +277,7 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
         "avg_degree": ParamSpec(
             kind="float", default=None, low=0.0, high=4096.0, allow_none=True,
         ),
+        **_net_specs(),
     },
     "bridge": {
         "half_size": ParamSpec(
@@ -255,6 +288,7 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
             kind="int", default=10, low=1, high=2000,
             fuzz=True, fuzz_low=2, fuzz_high=40, role="structure",
         ),
+        **_net_specs(),
     },
     "high_degree": {
         "n_vertices": ParamSpec(
@@ -273,6 +307,7 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
         "avg_degree": ParamSpec(
             kind="float", default=None, low=0.0, high=4096.0, allow_none=True,
         ),
+        **_net_specs(),
     },
     "low_degree": {
         "n_vertices": ParamSpec(
@@ -288,8 +323,9 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
             fuzz=True, fuzz_low=1, fuzz_high=6, role="size",
         ),
         "topology": _topology(default="path"),
+        **_net_specs(),
     },
-    "figure1": {},
+    "figure1": {**_net_specs()},
     "sliding_window": {
         "n_vertices": ParamSpec(
             kind="int", default=300, low=4, high=500_000,
@@ -313,6 +349,7 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
             fuzz=True, fuzz_low=0.01, fuzz_high=0.5, role="structure",
         ),
         **_arrival_specs(),
+        **_net_specs(),
     },
     "hotspot_churn": {
         "n_vertices": ParamSpec(
@@ -333,8 +370,12 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
             fuzz=True, fuzz_low=3, fuzz_high=12, role="size",
         ),
         "hotspot_fraction": ParamSpec(
+            # fuzz box reaches 0.9: with the old 0.3 ceiling no in-box
+            # parameter set could dirty > escalate_fraction of the graph,
+            # so the "escalations" fuzz objective could never fire
+            # (tests/test_fuzz.py pins an in-box escalating cell)
             kind="float", default=0.05, low=0.0, high=1.0,
-            fuzz=True, fuzz_low=0.01, fuzz_high=0.3, role="structure",
+            fuzz=True, fuzz_low=0.01, fuzz_high=0.9, role="structure",
         ),
         "churn_edges": ParamSpec(
             kind="int", default=None, low=0, high=1_000_000, allow_none=True,
@@ -349,6 +390,7 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
             fuzz=True, fuzz_low=0, fuzz_high=12, role="structure",
         ),
         **_arrival_specs(),
+        **_net_specs(),
     },
     "cluster_churn": {
         "n_vertices": ParamSpec(
@@ -382,6 +424,7 @@ PARAM_SPECS: dict[str, dict[str, ParamSpec]] = {
             fuzz=True, fuzz_low=2, fuzz_high=200, role="structure",
         ),
         **_arrival_specs(),
+        **_net_specs(),
     },
 }
 
@@ -446,6 +489,16 @@ def validated(name: str):
     Applied at definition time in :mod:`repro.workloads.generators` and
     :mod:`repro.workloads.streams`, so both registry dispatch *and* direct
     imports get call-time validation.
+
+    The decorator is also where the heterogeneous-fabric knobs
+    (:data:`NET_PARAM_NAMES`) are handled: they are validated like any
+    other parameter, then *popped* before the generator body runs -- no
+    generator knows about them.  When any is set, a
+    :class:`~repro.network.hetnet.HetNetModel` is sampled over the built
+    workload's communication graph from a ``SeedSequence`` child spawned
+    off the workload RNG (spawning consumes no bit-stream draws, so the
+    graph itself is bit-identical with the knobs on or off) and attached
+    as ``workload.hetnet`` / ``workload.netmodel``.
     """
     import functools
 
@@ -453,7 +506,24 @@ def validated(name: str):
         @functools.wraps(fn)
         def wrapper(rng=None, **kwargs):
             validate_params(name, kwargs)
-            return fn(rng, **kwargs)
+            net = {k: kwargs.pop(k) for k in NET_PARAM_NAMES if k in kwargs}
+            workload = fn(rng, **kwargs)
+            if any(v is not None for v in net.values()):
+                import numpy as np
+
+                from repro.network.hetnet import HetNetModel, HetNetSpec
+
+                spec = HetNetSpec(
+                    skew=net.get("net_skew") or 1.0,
+                    fill=net["net_fill"] if net.get("net_fill") is not None
+                    else 0.1,
+                )
+                source = rng if rng is not None else np.random.default_rng(0)
+                workload.hetnet = spec
+                workload.netmodel = HetNetModel.sample(
+                    workload.graph, spec, source.spawn(1)[0]
+                )
+            return workload
 
         return wrapper
 

@@ -371,3 +371,41 @@ class TestPromotion:
 
         assert pathology_suite(tmp_path) is None
         assert pathology_suite(tmp_path / "missing") is None
+
+
+class TestEscalationRegression:
+    """The ``escalations`` objective has signal inside the fuzz boxes.
+
+    ROADMAP once claimed scratch escalations could never fire inside the
+    registered hotspot_churn boxes, leaving the objective dead.  The box
+    was widened (``hotspot_fraction`` up to 0.9); this pins an in-box
+    cell whose repair-mode run escalates, so the fuzzer can climb the
+    objective -- and so future box edits cannot silently kill it again.
+    """
+
+    PINNED = {
+        "n_vertices": 60,
+        "avg_degree": 3.0,
+        "batches": 8,
+        "hotspot_fraction": 0.9,
+        "churn_edges": 400,
+        "arrivals": 12,
+        "departures": 12,
+    }
+
+    def test_pinned_cell_is_inside_the_boxes(self):
+        validate_params("hotspot_churn", self.PINNED)
+        assert_in_boxes("hotspot_churn", self.PINNED)
+
+    def test_pinned_cell_escalates(self):
+        from repro.dynamic.harness import run_stream
+
+        workload = STREAMS["hotspot_churn"](
+            np.random.default_rng(0), **self.PINNED
+        )
+        _engine, _result, metrics = run_stream(workload, seed=0, mode="repair")
+        assert metrics["proper"]
+        assert metrics["escalations"] >= 1
+        objective = get_objective("escalations")
+        record = {"status": "ok", "metrics": metrics}
+        assert score_record(objective, record) >= 1.0

@@ -335,6 +335,100 @@ class TestTracerNeutrality:
         )
 
 
+class TestHetNetNeutrality:
+    """Attached network model == no model, bitwise, on pinned seeds.
+
+    Same contract as the tracer above (docs/NETWORK.md): the fabric model
+    may only *add* ``makespan_ms`` / ``critical_link`` reporting -- every
+    coloring, per-op counter, and RNG draw must be untouched.
+    """
+
+    NET = {"net_skew": 100.0, "net_fill": 0.1}
+
+    @pytest.mark.parametrize(
+        "workload,regime",
+        [("high_degree", "auto"), ("low_degree", "auto"), ("congest", "polylog")],
+    )
+    def test_static_pipeline_bitwise_identical(self, workload, regime):
+        from repro.network import HetNetModel, HetNetSpec
+
+        graph = GENERATORS[workload](np.random.default_rng(7)).graph
+        model = HetNetModel.sample(
+            graph, HetNetSpec(skew=100.0, fill=0.1), np.random.default_rng(5)
+        )
+        runs = {}
+        for label, netmodel in (("modeled", model), ("plain", None)):
+            rng = np.random.default_rng(1234)
+            result = color_cluster_graph(
+                graph, rng=rng, regime=regime, netmodel=netmodel
+            )
+            summary = dict(result.ledger_summary)
+            makespan = summary.pop("makespan_ms", None)
+            runs[label] = (
+                result.colors.tolist(),
+                summary,
+                dict(result.stats.stage_rounds),
+                rng.bit_generator.state,
+            )
+            if label == "modeled":
+                assert makespan and makespan > 0
+            else:
+                assert makespan is None
+        assert runs["modeled"] == runs["plain"]
+
+    @pytest.mark.parametrize("stream", ["hotspot_churn", "sliding_window"])
+    def test_stream_engine_bitwise_identical(self, stream):
+        runs = {}
+        for label, net in (("modeled", self.NET), ("plain", {})):
+            workload = STREAMS[stream](np.random.default_rng(11), **net)
+            engine, _result, metrics = run_stream(workload, seed=4)
+            wall_keys = {
+                "bootstrap_wall_time_s",
+                "stream_wall_time_s",
+                "batch_wall_times_s",
+                "updates_per_sec",
+                "repair_ms_p50",
+                "repair_ms_p95",
+                "repair_ms_p99",
+                # the additive hetnet report, present only when modeled
+                "makespan_ms",
+                "critical_link",
+            }
+            if label == "modeled":
+                assert metrics["makespan_ms"] > 0
+            else:
+                assert "makespan_ms" not in metrics
+            runs[label] = (
+                engine.colors.tolist(),
+                dict(engine.ledger.per_op_rounds),
+                dict(engine.ledger.per_op_bits),
+                engine.rng.bit_generator.state,
+                {k: v for k, v in metrics.items() if k not in wall_keys},
+            )
+        assert runs["modeled"] == runs["plain"]
+
+    def test_traced_spans_attribute_makespan(self):
+        from repro.network import HetNetModel, HetNetSpec
+        from repro.observe import aggregate_stage_rows
+
+        graph = GENERATORS["congest"](np.random.default_rng(7)).graph
+        model = HetNetModel.sample(
+            graph, HetNetSpec(skew=10.0, fill=0.2), np.random.default_rng(5)
+        )
+        tracer = Tracer()
+        result = color_cluster_graph(graph, seed=3, tracer=tracer, netmodel=model)
+        rows = aggregate_stage_rows(stage_rows(tracer))
+        total = sum(r["makespan_ms"] for r in rows)
+        assert total == pytest.approx(
+            result.ledger_summary["makespan_ms"], rel=1e-6
+        )
+        # homogeneous spans serialize without the field at all
+        plain_tracer = Tracer()
+        color_cluster_graph(graph, seed=3, tracer=plain_tracer)
+        for span in plain_tracer.spans:
+            assert "makespan_ms" not in span.to_dict()
+
+
 def _history_entry(commit, cell_walls, suite="smoke"):
     """Synthetic history entry: {label: wall_s}."""
     return {

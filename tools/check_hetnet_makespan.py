@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI gate for a hetnet sweep artifact (docs/NETWORK.md).
+
+Checks the two halves of the heterogeneous-network contract on the cells
+of a ``hetnet``/``hetnet_smoke`` artifact:
+
+1. **Invisibility** -- within each group of cells that differ only in the
+   ``net_skew`` / ``net_fill`` knobs, the coloring digest, ``rounds_h``,
+   and ``total_message_bits`` must be identical: the fabric model may
+   never perturb the algorithm.
+2. **Sensitivity** -- at the highest fill of each group, the
+   highest-skew cell must report a strictly larger ``makespan_ms`` than
+   the skew-1 cell: a 100x-slower link on a charged path must show up on
+   the simulated clock.
+
+Exit 0 when every group passes, 1 otherwise (with one line per
+violation).  Usage: ``python tools/check_hetnet_makespan.py ARTIFACT``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.workloads.specs import NET_PARAM_NAMES  # noqa: E402
+
+
+def load_cells(path: str) -> list[dict]:
+    """The ``kind == "cell"`` records of a JSONL sweep artifact."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "cell":
+                records.append(record)
+    return records
+
+
+def group_key(record: dict) -> str:
+    """Cell identity with the net knobs stripped: the axis the fabric
+    sweep varies, so every group member ran the identical algorithm."""
+    cell = record["cell"]
+    kwargs = {
+        k: v for k, v in cell.get("workload_kwargs", {}).items()
+        if k not in NET_PARAM_NAMES
+    }
+    return json.dumps(
+        {
+            "workload": cell["workload"],
+            "kwargs": kwargs,
+            "params": cell["params"],
+            "regime": cell["regime"],
+            "algorithm": cell.get("algorithm", "paper"),
+            "seed": cell["seed"],
+            "instance_seed": cell["instance_seed"],
+        },
+        sort_keys=True,
+    )
+
+
+def check(records: list[dict]) -> list[str]:
+    """Every contract violation in ``records``, as printable lines."""
+    errors: list[str] = []
+    groups: dict[str, list[dict]] = defaultdict(list)
+    for record in records:
+        if record.get("status") != "ok":
+            errors.append(
+                f"cell not ok ({record.get('status')}): "
+                f"{record['cell'].get('workload')} "
+                f"{record['cell'].get('workload_kwargs')}"
+            )
+            continue
+        groups[group_key(record)].append(record)
+    if not groups:
+        errors.append("artifact holds no ok cells")
+        return errors
+
+    for key, members in sorted(groups.items()):
+        label = json.loads(key)
+        name = f"{label['workload']} algo={label['algorithm']}"
+        # 1. invisibility: pinned quantities identical across the grid
+        for metric in ("coloring_digest", "rounds_h", "total_message_bits"):
+            values = {m["metrics"].get(metric) for m in members}
+            if len(values) != 1:
+                errors.append(
+                    f"{name}: {metric} varies across net knobs: {values}"
+                )
+        # 2. sensitivity: max skew beats skew 1 at the highest fill
+        by_knobs = {
+            (
+                float(m["cell"]["workload_kwargs"].get("net_skew", 1.0)),
+                float(m["cell"]["workload_kwargs"].get("net_fill", 0.0)),
+            ): m
+            for m in members
+        }
+        fills = {fill for _, fill in by_knobs}
+        skews = {skew for skew, _ in by_knobs}
+        top_fill, top_skew = max(fills), max(skews)
+        if top_skew <= 1.0 or len(skews) < 2:
+            errors.append(f"{name}: no skewed cell to compare against skew 1")
+            continue
+        base = by_knobs.get((1.0, top_fill))
+        skewed = by_knobs.get((top_skew, top_fill))
+        if base is None or skewed is None:
+            errors.append(
+                f"{name}: grid misses skew {{1,{top_skew:g}}} at "
+                f"fill {top_fill:g}"
+            )
+            continue
+        base_ms = base["metrics"].get("makespan_ms")
+        skew_ms = skewed["metrics"].get("makespan_ms")
+        if base_ms is None or skew_ms is None:
+            errors.append(f"{name}: makespan_ms missing from hetnet cells")
+        elif not skew_ms > base_ms:
+            errors.append(
+                f"{name}: skew {top_skew:g} makespan {skew_ms} is not "
+                f"strictly above skew-1 makespan {base_ms} at "
+                f"fill {top_fill:g}"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry: check one artifact, print violations, gate via exit code."""
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    records = load_cells(argv[0])
+    errors = check(records)
+    for line in errors:
+        print(f"HETNET VIOLATION: {line}")
+    if not errors:
+        groups = {group_key(r) for r in records}
+        print(
+            f"hetnet contract holds: {len(records)} cells in "
+            f"{len(groups)} groups (invisibility + makespan sensitivity)"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,8 +5,10 @@ The architecture contract (docs/ARCHITECTURE.md) promises that every
 public symbol of ``repro.graphcore`` (the batched kernels every hot path
 runs on), ``repro.dynamic`` (the streaming engine API), ``repro.sketch``
 (the fingerprint estimators and their documented contract,
-docs/ESTIMATORS.md), and ``repro.decomposition`` (the ACD pipeline those
-estimators drive) documents its arguments, shapes, and invariants.  This
+docs/ESTIMATORS.md), ``repro.decomposition`` (the ACD pipeline those
+estimators drive), and ``repro.network`` (the ledger plus the
+simulated-time heterogeneous fabric model, docs/NETWORK.md) documents its
+arguments, shapes, and invariants.  This
 lint enforces the *presence* half of that promise statically: every public
 module, class, function, and method in those packages must carry a
 docstring.
